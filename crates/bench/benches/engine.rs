@@ -1,0 +1,69 @@
+//! Criterion benches for the DES engine: pending-event-set implementations
+//! and the RNG streams.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use desim::queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
+use desim::rng::Pcg32;
+use std::hint::black_box;
+
+/// Classic hold model: steady-state queue churn at a fixed population.
+fn hold<Q: EventQueue<u64>>(q: &mut Q, ops: u64) {
+    let mut rng = Pcg32::stream(1, 1);
+    let mut now = 0u64;
+    for i in 0..ops {
+        let (t, _) = q.pop().expect("population stays positive");
+        now = now.max(t);
+        q.insert(now + 1 + rng.below(64) as u64, i);
+    }
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue_hold");
+    for &population in &[64usize, 1024] {
+        g.bench_function(format!("binary_heap/{population}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut q = BinaryHeapQueue::new();
+                    for i in 0..population {
+                        q.insert(i as u64, i as u64);
+                    }
+                    q
+                },
+                |mut q| hold(&mut q, 10_000),
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(format!("calendar/{population}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut q = CalendarQueue::new(256, 4);
+                    for i in 0..population {
+                        q.insert(i as u64, i as u64);
+                    }
+                    q
+                },
+                |mut q| hold(&mut q, 10_000),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("pcg32_below", |b| {
+        let mut rng = Pcg32::stream(7, 7);
+        b.iter(|| black_box(rng.below(black_box(63))))
+    });
+    c.bench_function("pcg32_bernoulli", |b| {
+        let mut rng = Pcg32::stream(7, 8);
+        b.iter(|| black_box(rng.bernoulli(black_box(0.02))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queues, bench_rng
+}
+criterion_main!(benches);

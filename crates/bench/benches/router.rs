@@ -1,0 +1,76 @@
+//! Criterion bench: sustained flit throughput of one IBI router.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use router::flit::{NodeId, PacketId};
+use router::packet::Packet;
+use router::routing::{PortId, TableRoute};
+use router::{Router, RouterConfig};
+use std::hint::black_box;
+
+fn make_router(ports: u16) -> Router {
+    let table = (0..ports).map(PortId).collect();
+    Router::new(
+        RouterConfig {
+            in_ports: ports,
+            out_ports: ports,
+            vcs: 4,
+            buf_depth: 4,
+            downstream_depth: 64,
+        },
+        Box::new(TableRoute::new(table)),
+    )
+}
+
+/// Drives `cycles` cycles of all-to-adjacent traffic through the router,
+/// returning credits immediately.
+fn drive(router: &mut Router, cycles: u64, ports: u16) {
+    let mut id = 0u64;
+    for now in 0..cycles {
+        for p in 0..ports {
+            if router.can_accept(PortId(p), (now % 4) as u8)
+                && router.input_space(PortId(p), (now % 4) as u8) == 4
+            {
+                let pkt = Packet {
+                    id: PacketId(id),
+                    src: NodeId(p as u32),
+                    dst: NodeId(((p + 1) % ports) as u32),
+                    flits: 8,
+                    injected_at: now,
+                    labelled: false,
+                };
+                id += 1;
+                for f in pkt.flitize().into_iter().take(4) {
+                    router.inject(PortId(p), (now % 4) as u8, f);
+                }
+            }
+        }
+        for t in router.step(now) {
+            router.credit(t.out_port, t.out_vc);
+            black_box(t.flit.seq);
+        }
+    }
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router_step");
+    for &ports in &[8u16, 16] {
+        g.bench_function(format!("{ports}x{ports}_1kcycles"), |b| {
+            b.iter_batched(
+                || make_router(ports),
+                |mut r| {
+                    drive(&mut r, 1000, ports);
+                    black_box(r.stats().traversed)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_router
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Regenerates **Figures 1 and 2** of the paper as tables: the static
+//! routing-and-wavelength assignment of the R(1,4,4) example system
+//! (Fig. 1), and the per-transmitter laser/coupler wiring of one board
+//! (Fig. 2b), directly from the implementation.
+//!
+//! ```text
+//! cargo run --release -p erapid-bench --bin arch            # R(1,4,4)
+//! cargo run --release -p erapid-bench --bin arch -- 8       # R(1,8,8)
+//! ```
+
+use netstats::table::Table;
+use photonics::rwa::StaticRwa;
+use photonics::transmitter::TransmitterBank;
+use photonics::wavelength::BoardId;
+
+fn main() {
+    let boards: u16 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("board count"))
+        .unwrap_or(4);
+    let rwa = StaticRwa::new(boards);
+
+    println!("=== Figure 1: static RWA for an R(1,{boards},{boards}) system ===\n");
+    let mut headers = vec!["src \\ dst".to_string()];
+    headers.extend((0..boards).map(|d| format!("B{d}")));
+    let mut t = Table::new(headers).with_title(
+        "wavelength λ_w used from source board (row) to destination board (column)",
+    );
+    for s in 0..boards {
+        let mut row = vec![format!("B{s}")];
+        for d in 0..boards {
+            if s == d {
+                row.push("–".to_string());
+            } else {
+                row.push(rwa.wavelength(BoardId(s), BoardId(d)).to_string());
+            }
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!("Check against §2.1: λ_(B-(d-s)) if d > s, λ_(s-d) if s > d.");
+    println!("Example (B=4): board 1 → board 0 uses λ1; board 0 → board 1 uses λ3.\n");
+
+    println!("=== Figure 2(b): transmitter/coupler wiring of board 0 ===\n");
+    let mut bank = TransmitterBank::new(BoardId(0), boards);
+    bank.apply_static_rwa(&rwa);
+    let mut headers = vec!["transmitter (λ)".to_string()];
+    headers.extend((0..boards).map(|d| format!("port→coupler {d}")));
+    let mut t = Table::new(headers)
+        .with_title("laser on/off per (transmitter, output port); coupler d feeds board d");
+    for w in 0..boards {
+        let tx = bank.transmitter(photonics::wavelength::Wavelength(w));
+        let mut row = vec![format!("λ{w}")];
+        for d in 0..boards {
+            row.push(if tx.is_on(BoardId(d)) { "ON".into() } else { "·".to_string() });
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!("Static assignment lights exactly one laser per remote destination");
+    println!("({} of {} lasers on). Reconfiguration = flipping these bits: any",
+        bank.active_lasers(), boards as usize * boards as usize);
+    println!("transmitter can light its λ toward any coupler, so a destination");
+    println!("can receive on several wavelengths from one source board at once.");
+
+    println!("\n=== incoming demux at each destination (who owns each λ) ===\n");
+    let mut headers = vec!["dest \\ λ".to_string()];
+    headers.extend((1..boards).map(|w| format!("λ{w}")));
+    let mut t = Table::new(headers)
+        .with_title("static owner (source board) of each wavelength at each destination");
+    for d in 0..boards {
+        let mut row = vec![format!("B{d}")];
+        for w in 1..boards {
+            row.push(
+                rwa.static_owner(BoardId(d), photonics::wavelength::Wavelength(w))
+                    .to_string(),
+            );
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+}

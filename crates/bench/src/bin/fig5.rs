@@ -1,0 +1,30 @@
+//! Regenerates **Figure 5** of the paper: throughput, latency and power
+//! versus offered load (0.1–0.9 of capacity) for the **uniform** and
+//! **complement** traffic patterns on the 64-node E-RAPID, across NP-NB,
+//! NP-B, P-NB and P-B.
+//!
+//! ```text
+//! cargo run --release -p erapid-bench --bin fig5
+//! ERAPID_QUICK=1 cargo run --release -p erapid-bench --bin fig5   # smoke run
+//! ```
+
+use erapid_bench::{print_charts, print_panel, print_ratios, run_panel};
+use traffic::pattern::TrafficPattern;
+
+fn main() {
+    println!("=== Figure 5: 64-node E-RAPID, uniform & complement ===\n");
+    for (name, pattern) in [
+        ("uniform", TrafficPattern::Uniform),
+        ("complement", TrafficPattern::Complement),
+    ] {
+        let panel = run_panel(name, &pattern);
+        print_panel(&panel);
+        print_charts(&panel);
+        print_ratios(&panel);
+    }
+    println!("Paper targets (§4.2):");
+    println!("  uniform:    NP-NB ≈ NP-B; P-NB ≤3% thr loss, ~16% power saving;");
+    println!("              P-B ≤8% thr loss, ~50% power saving");
+    println!("  complement: NP-B/P-B ≈ 4x NP-NB throughput; NP-B ≈ 4x NP-NB power;");
+    println!("              P-B ~25% less power than NP-B");
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Figure 6** of the paper: throughput, latency and power
+//! versus offered load for the **butterfly** and **perfect shuffle**
+//! patterns on the 64-node E-RAPID, across NP-NB, NP-B, P-NB and P-B.
+//!
+//! ```text
+//! cargo run --release -p erapid-bench --bin fig6
+//! ```
+
+use erapid_bench::{print_charts, print_panel, print_ratios, run_panel};
+use traffic::pattern::TrafficPattern;
+
+fn main() {
+    println!("=== Figure 6: 64-node E-RAPID, butterfly & perfect shuffle ===\n");
+    for (name, pattern) in [
+        ("butterfly", TrafficPattern::Butterfly),
+        ("perfect_shuffle", TrafficPattern::PerfectShuffle),
+    ] {
+        let panel = run_panel(name, &pattern);
+        print_panel(&panel);
+        print_charts(&panel);
+        print_ratios(&panel);
+    }
+    println!("Paper targets (§4.2):");
+    println!("  butterfly:       NP-B/P-B +25% throughput; power x2 (NP-B) vs x1.5 (P-B)");
+    println!("  perfect shuffle: x1.7 throughput; power +70% (NP-B) vs +25% (P-B)");
+}

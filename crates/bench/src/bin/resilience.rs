@@ -1,0 +1,72 @@
+//! Fault-resilience study: a receiver dies mid-run; what does
+//! reconfigurability buy?
+//!
+//! At `t = 10000` the demux/receiver for the hot flow's static wavelength
+//! fails (board 0 → board 7 under complement traffic). The static network
+//! (NP-NB) loses the flow permanently; the reconfigurable network (NP-B /
+//! P-B) re-acquires bandwidth at the next Lock-Step bandwidth cycle via
+//! the orphaned flow's queue demand.
+//!
+//! ```text
+//! cargo run --release -p erapid-bench --bin resilience
+//! ```
+
+use desim::phase::PhasePlan;
+use erapid_core::config::{NetworkMode, SystemConfig};
+use erapid_core::system::System;
+use netstats::table::Table;
+use photonics::rwa::StaticRwa;
+use photonics::wavelength::BoardId;
+use traffic::pattern::TrafficPattern;
+
+fn main() {
+    let load = 0.5;
+    let fault_at = 10_000;
+    let plan = PhasePlan::new(8_000, 16_000).with_max_cycles(120_000);
+
+    println!("=== receiver failure at t={fault_at}: flow board0 → board7, complement, load {load} ===\n");
+    let mut t = Table::new(vec![
+        "mode",
+        "thr (pkt/n/c)",
+        "latency",
+        "undrained",
+        "grants",
+        "lasers on (end)",
+        "verdict",
+    ])
+    .with_title("64-node E-RAPID, hot flow's static wavelength killed mid-run");
+    for mode in NetworkMode::all() {
+        let cfg = SystemConfig::paper64(mode);
+        let rwa = StaticRwa::new(cfg.boards);
+        let w = rwa.wavelength(BoardId(0), BoardId(7)).0;
+        let mut sys = System::new(cfg, TrafficPattern::Complement, load, plan);
+        while sys.now() < fault_at {
+            sys.step();
+        }
+        sys.fail_receiver(7, w);
+        sys.run();
+        let m = sys.metrics();
+        let (grants, _) = sys.srs().reconfig_counts();
+        let verdict = if m.tracker.outstanding() == 0 {
+            "recovered"
+        } else {
+            "flow starved"
+        };
+        t.row(vec![
+            mode.name().to_string(),
+            format!("{:.4}", m.throughput_ppc()),
+            format!("{:.0}", m.mean_latency()),
+            format!("{}", m.tracker.outstanding()),
+            format!("{grants}"),
+            format!("{}", sys.srs().lasers_on()),
+            verdict.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Reading: without DBR the dead wavelength takes board 0's entire");
+    println!("complement flow with it (every labelled packet of that flow is");
+    println!("stuck at the run cap). With DBR the next bandwidth cycle sees");
+    println!("the orphaned flow's Buffer_util demand and re-assigns idle");
+    println!("wavelengths — the same machinery that absorbs adversarial");
+    println!("traffic absorbs component failure.");
+}

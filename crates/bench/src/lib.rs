@@ -1,0 +1,227 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Every binary prints the same rows/series the paper reports and drops a
+//! CSV next to the console output (under `results/`, created on demand).
+//!
+//! Environment knobs:
+//! * `ERAPID_QUICK=1` — quarter-length runs and a 3-point load axis, for
+//!   smoke-testing the binaries.
+//! * `ERAPID_RESULTS=<dir>` — where CSVs are written (default `results`).
+
+use erapid_core::config::{NetworkMode, SystemConfig};
+use erapid_core::experiment::{default_plan, paper_loads, run_once, RunResult};
+use netstats::csv::Csv;
+use netstats::table::Table;
+use std::path::PathBuf;
+use traffic::pattern::TrafficPattern;
+
+/// True when quick mode is requested.
+pub fn quick() -> bool {
+    std::env::var("ERAPID_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The load axis in use (3 points in quick mode, the paper's 9 otherwise).
+pub fn load_axis() -> Vec<f64> {
+    if quick() {
+        vec![0.1, 0.5, 0.9]
+    } else {
+        paper_loads()
+    }
+}
+
+/// Results directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("ERAPID_RESULTS").unwrap_or_else(|_| "results".into());
+    let p = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+/// Runs one (mode, pattern, load) point on the paper's 64-node system.
+pub fn run_point(mode: NetworkMode, pattern: &TrafficPattern, load: f64) -> RunResult {
+    let cfg = SystemConfig::paper64(mode);
+    let mut plan = default_plan(cfg.schedule.window);
+    if quick() {
+        plan = desim::phase::PhasePlan::new(
+            cfg.schedule.window,
+            2 * cfg.schedule.window,
+        )
+        .with_max_cycles(10 * cfg.schedule.window);
+    }
+    run_once(cfg, pattern.clone(), load, plan)
+}
+
+/// One pattern's full panel: all four configurations across the load axis.
+pub struct Panel {
+    /// Pattern name.
+    pub pattern: String,
+    /// `results[mode][load_idx]`.
+    pub results: Vec<(NetworkMode, Vec<RunResult>)>,
+    /// The load axis used.
+    pub loads: Vec<f64>,
+}
+
+/// Runs the full panel for one pattern (the 4 curves of one figure column).
+pub fn run_panel(name: &str, pattern: &TrafficPattern) -> Panel {
+    let loads = load_axis();
+    let mut results = Vec::new();
+    for mode in NetworkMode::all() {
+        eprintln!("  running {} / {} ...", name, mode.name());
+        let series: Vec<RunResult> = loads
+            .iter()
+            .map(|&l| run_point(mode, pattern, l))
+            .collect();
+        results.push((mode, series));
+    }
+    Panel {
+        pattern: name.to_string(),
+        results,
+        loads,
+    }
+}
+
+/// Prints the three sub-panels (throughput, latency, power) the paper's
+/// Figures 5/6 show for one pattern, and writes a CSV.
+pub fn print_panel(panel: &Panel) {
+    let headers = |unit: &str| {
+        let mut h = vec![format!("load ({unit})")];
+        for (m, _) in &panel.results {
+            h.push(m.name().to_string());
+        }
+        h
+    };
+    let mut thr = Table::new(headers("thr, pkt/node/cycle"))
+        .with_title(format!("[{}] Accepted throughput", panel.pattern));
+    let mut lat = Table::new(headers("latency, cycles"))
+        .with_title(format!("[{}] Average packet latency", panel.pattern));
+    let mut pwr = Table::new(headers("power, mW"))
+        .with_title(format!("[{}] Optical interconnect power", panel.pattern));
+    for (i, &load) in panel.loads.iter().enumerate() {
+        let row = |f: &dyn Fn(&RunResult) -> String| -> Vec<String> {
+            let mut r = vec![format!("{load:.1}")];
+            for (_, series) in &panel.results {
+                r.push(f(&series[i]));
+            }
+            r
+        };
+        thr.row(row(&|r| format!("{:.4}", r.throughput)));
+        lat.row(row(&|r| format!("{:.1}", r.latency)));
+        pwr.row(row(&|r| format!("{:.1}", r.power_mw)));
+    }
+    println!("{}", thr.render());
+    println!("{}", lat.render());
+    println!("{}", pwr.render());
+
+    // CSV export.
+    let mut headers = vec!["load".to_string()];
+    for (m, _) in &panel.results {
+        for metric in ["thr", "lat", "pwr"] {
+            headers.push(format!("{}_{}", m.name(), metric));
+        }
+    }
+    let mut csv = Csv::new(headers);
+    for (i, &load) in panel.loads.iter().enumerate() {
+        let mut row = vec![format!("{load}")];
+        for (_, series) in &panel.results {
+            let r = &series[i];
+            row.push(format!("{}", r.throughput));
+            row.push(format!("{}", r.latency));
+            row.push(format!("{}", r.power_mw));
+        }
+        csv.row(row);
+    }
+    let path = results_dir().join(format!("{}.csv", panel.pattern));
+    match csv.write_to(&path) {
+        Ok(()) => println!("wrote {}\n", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Draws the panel's three metrics as terminal line charts (the actual
+/// figure shapes, next to the exact tables).
+pub fn print_charts(panel: &Panel) {
+    use netstats::chart::Chart;
+    let draw = |title: &str, ylab: &str, f: &dyn Fn(&erapid_core::experiment::RunResult) -> f64| {
+        let mut c = Chart::new(
+            format!("[{}] {title}", panel.pattern),
+            64,
+            14,
+        )
+        .with_labels("offered load (fraction of N_c)", ylab);
+        for (mode, series) in &panel.results {
+            let pts: Vec<(f64, f64)> = panel
+                .loads
+                .iter()
+                .zip(series)
+                .map(|(&l, r)| (l, f(r)))
+                .collect();
+            c.series(mode.name(), pts);
+        }
+        println!("{}", c.render());
+    };
+    draw("throughput", "pkt/node/cycle", &|r| r.throughput);
+    draw("latency", "cycles", &|r| r.latency);
+    draw("power", "mW", &|r| r.power_mw);
+}
+
+/// Prints the paper-vs-measured summary comparisons for a panel, mirroring
+/// the claims in §4.2.
+pub fn print_ratios(panel: &Panel) {
+    let find = |mode: NetworkMode| -> &Vec<RunResult> {
+        &panel
+            .results
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .expect("all modes present")
+            .1
+    };
+    let peak = |s: &Vec<RunResult>| {
+        s.iter().map(|r| r.throughput).fold(0.0f64, f64::max)
+    };
+    let peak_pwr = |s: &Vec<RunResult>| {
+        s.iter().map(|r| r.power_mw).fold(0.0f64, f64::max)
+    };
+    let npnb = find(NetworkMode::NpNb);
+    let npb = find(NetworkMode::NpB);
+    let pnb = find(NetworkMode::PNb);
+    let pb = find(NetworkMode::PB);
+    println!("[{}] headline ratios:", panel.pattern);
+    println!(
+        "  peak throughput  NP-B/NP-NB = {:.2}x   P-B/NP-B = {:.2}x",
+        peak(npb) / peak(npnb).max(1e-12),
+        peak(pb) / peak(npb).max(1e-12),
+    );
+    println!(
+        "  peak power       NP-B/NP-NB = {:.2}x   P-B/NP-B = {:.2}x   P-NB/NP-NB = {:.2}x",
+        peak_pwr(npb) / peak_pwr(npnb).max(1e-12),
+        peak_pwr(pb) / peak_pwr(npb).max(1e-12),
+        peak_pwr(pnb) / peak_pwr(npnb).max(1e-12),
+    );
+    // Mid-load power saving of P-B vs NP-B (where DPM has headroom).
+    let mid = panel.loads.len() / 2;
+    println!(
+        "  mid-load power   P-B/NP-B = {:.2}x   (load {:.1})",
+        pb[mid].power_mw / npb[mid].power_mw.max(1e-12),
+        panel.loads[mid]
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_axis_default_is_paper() {
+        std::env::remove_var("ERAPID_QUICK");
+        assert_eq!(load_axis().len(), 9);
+    }
+
+    #[test]
+    fn run_point_smoke() {
+        std::env::set_var("ERAPID_QUICK", "1");
+        let r = run_point(NetworkMode::NpNb, &TrafficPattern::Uniform, 0.2);
+        assert!(r.throughput > 0.0);
+        std::env::remove_var("ERAPID_QUICK");
+    }
+}

@@ -1,0 +1,314 @@
+//! System configuration: the R(C,B,D) tuple, the four network modes, and
+//! the paper's parameter presets (Table 1).
+
+use photonics::bitrate::RateLadder;
+use photonics::fiber::Fiber;
+use photonics::power::LinkPowerModel;
+use photonics::serdes::Serdes;
+use powermgmt::policy::DpmPolicy;
+use powermgmt::transition::TransitionModel;
+use reconfig::alloc::AllocPolicy;
+use reconfig::lockstep::LockStepSchedule;
+use reconfig::stages::ProtocolTiming;
+
+/// The four evaluated network configurations (§3, Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkMode {
+    /// Non-power-aware, non-bandwidth-reconfigured baseline.
+    NpNb,
+    /// Power-aware only (DPM, no DBR).
+    PNb,
+    /// Bandwidth-reconfigured only (DBR, no DPM).
+    NpB,
+    /// The paper's proposal: both (Lock-Step).
+    PB,
+}
+
+impl NetworkMode {
+    /// All four modes in the paper's presentation order.
+    pub fn all() -> [NetworkMode; 4] {
+        [
+            NetworkMode::NpNb,
+            NetworkMode::NpB,
+            NetworkMode::PNb,
+            NetworkMode::PB,
+        ]
+    }
+
+    /// Whether DPM (bit-rate/voltage scaling) is active.
+    pub fn power_aware(self) -> bool {
+        matches!(self, NetworkMode::PNb | NetworkMode::PB)
+    }
+
+    /// Whether DBR (wavelength re-allocation) is active.
+    pub fn bandwidth_reconfig(self) -> bool {
+        matches!(self, NetworkMode::NpB | NetworkMode::PB)
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkMode::NpNb => "NP-NB",
+            NetworkMode::PNb => "P-NB",
+            NetworkMode::NpB => "NP-B",
+            NetworkMode::PB => "P-B",
+        }
+    }
+
+    /// The DPM thresholds this mode runs with (§4.2: P-NB uses
+    /// `L_max = 0.7, B_max = 0`; P-B uses `L_max = 0.9, B_max = 0.3`).
+    pub fn dpm_policy(self) -> Option<DpmPolicy> {
+        match self {
+            NetworkMode::PNb => Some(DpmPolicy::power_only()),
+            NetworkMode::PB => Some(DpmPolicy::power_bandwidth()),
+            _ => None,
+        }
+    }
+}
+
+/// How DBR decisions travel from statistics to laser commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControlPlane {
+    /// Decisions computed at the window boundary and applied after the
+    /// analytic five-stage latency (fast; the default).
+    #[default]
+    AnalyticLatency,
+    /// The five stages executed as real control packets on the RC ring,
+    /// cycle by cycle ([`reconfig::protocol::DbrRound`]). Produces the
+    /// same decisions at the same cycle; used to validate the shortcut.
+    MessageLevel,
+}
+
+/// Bursty-source parameters (extension workload; None = the paper's
+/// memoryless Bernoulli sources).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// ON-state rate multiplier over the long-run rate.
+    pub burstiness: f64,
+    /// Mean dwell time per source state, cycles.
+    pub dwell: f64,
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Clusters (the paper's evaluation uses C = 1).
+    pub clusters: u16,
+    /// Boards per cluster (B).
+    pub boards: u16,
+    /// Nodes per board (D).
+    pub nodes_per_board: u16,
+    /// Flits per packet (paper: 8 flits = 64 bytes).
+    pub packet_flits: u16,
+    /// Virtual channels per router input port.
+    pub vcs: u8,
+    /// Router input buffer depth per VC, in flits.
+    pub buf_depth: usize,
+    /// Transmitter queue capacity per destination board, in flits.
+    pub tx_queue_flits: u32,
+    /// Network configuration.
+    pub mode: NetworkMode,
+    /// The LS window schedule (`R_w`).
+    pub schedule: LockStepSchedule,
+    /// Bit-rate ladder.
+    pub ladder: RateLadder,
+    /// Link power model.
+    pub power_model: LinkPowerModel,
+    /// Transition timing.
+    pub transition: TransitionModel,
+    /// DBR allocation thresholds.
+    pub alloc: AllocPolicy,
+    /// Overrides the DPM thresholds the mode would imply (None = use
+    /// [`NetworkMode::dpm_policy`]). Ignored in non-power-aware modes.
+    pub dpm_override: Option<DpmPolicy>,
+    /// Bursty sources (None = Bernoulli, the paper's model).
+    pub burst: Option<BurstSpec>,
+    /// DBR control-plane execution model.
+    pub control_plane: ControlPlane,
+    /// Control-plane latency model.
+    pub timing: ProtocolTiming,
+    /// Board-to-board fiber.
+    pub fiber: Fiber,
+    /// Flit serialization calculator.
+    pub serdes: Serdes,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's 64-node system (B = 8, D = 8) with Table 1 parameters.
+    pub fn paper64(mode: NetworkMode) -> Self {
+        Self {
+            clusters: 1,
+            boards: 8,
+            nodes_per_board: 8,
+            packet_flits: 8,
+            vcs: 4,
+            buf_depth: 4,
+            tx_queue_flits: 64,
+            mode,
+            schedule: LockStepSchedule::paper(),
+            ladder: RateLadder::paper(),
+            power_model: LinkPowerModel::paper_table(),
+            transition: TransitionModel::paper(),
+            alloc: AllocPolicy::paper(),
+            dpm_override: None,
+            burst: None,
+            control_plane: ControlPlane::default(),
+            timing: ProtocolTiming::paper64(),
+            fiber: Fiber::rack_scale(),
+            serdes: Serdes::paper(),
+            seed: 0xE4A9_1D07,
+        }
+    }
+
+    /// A small R(1,4,4) system for fast tests (the paper's Fig. 1 example).
+    pub fn small(mode: NetworkMode) -> Self {
+        let mut c = Self::paper64(mode);
+        c.boards = 4;
+        c.nodes_per_board = 4;
+        c.timing = ProtocolTiming {
+            boards: 4,
+            lcs_per_board: 4,
+            ..ProtocolTiming::paper64()
+        };
+        c
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> u32 {
+        self.boards as u32 * self.nodes_per_board as u32
+    }
+
+    /// Wavelength count (W = B).
+    pub fn wavelengths(&self) -> u16 {
+        self.boards
+    }
+
+    /// The board of a global node id.
+    pub fn board_of(&self, node: u32) -> u16 {
+        (node / self.nodes_per_board as u32) as u16
+    }
+
+    /// The local index of a global node id on its board.
+    pub fn local_of(&self, node: u32) -> u16 {
+        (node % self.nodes_per_board as u32) as u16
+    }
+
+    /// The effective DPM policy: the override when set, else the mode's.
+    pub fn dpm_policy(&self) -> Option<DpmPolicy> {
+        if !self.mode.power_aware() {
+            return None;
+        }
+        self.dpm_override.or_else(|| self.mode.dpm_policy())
+    }
+
+    /// The capacity model for normalising injected load.
+    pub fn capacity(&self) -> traffic::capacity::CapacityModel {
+        let flit_cycles = self
+            .serdes
+            .flit_cycles(self.ladder.rate(self.ladder.highest()));
+        traffic::capacity::CapacityModel {
+            boards: self.boards as u32,
+            nodes_per_board: self.nodes_per_board as u32,
+            packet_flits: self.packet_flits as u32,
+            flit_cycles: flit_cycles as u32,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) {
+        assert_eq!(self.clusters, 1, "multi-cluster systems are future work");
+        assert!(self.boards >= 2);
+        assert!(self.nodes_per_board >= 1);
+        assert!(self.packet_flits >= 1);
+        assert!(self.vcs >= 1);
+        assert!(self.buf_depth >= 1);
+        assert!(
+            self.tx_queue_flits >= self.packet_flits as u32,
+            "TX queue must hold at least one packet"
+        );
+        assert_eq!(
+            self.ladder.len(),
+            self.power_model.ladder().len(),
+            "power model must cover the ladder"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_flags() {
+        assert!(!NetworkMode::NpNb.power_aware());
+        assert!(!NetworkMode::NpNb.bandwidth_reconfig());
+        assert!(NetworkMode::PNb.power_aware());
+        assert!(!NetworkMode::PNb.bandwidth_reconfig());
+        assert!(!NetworkMode::NpB.power_aware());
+        assert!(NetworkMode::NpB.bandwidth_reconfig());
+        assert!(NetworkMode::PB.power_aware());
+        assert!(NetworkMode::PB.bandwidth_reconfig());
+        assert_eq!(NetworkMode::all().len(), 4);
+        assert_eq!(NetworkMode::PB.name(), "P-B");
+    }
+
+    #[test]
+    fn mode_policies_match_paper() {
+        assert!(NetworkMode::NpNb.dpm_policy().is_none());
+        let pnb = NetworkMode::PNb.dpm_policy().unwrap();
+        assert_eq!((pnb.l_max, pnb.b_max), (0.7, 0.0));
+        let pb = NetworkMode::PB.dpm_policy().unwrap();
+        assert_eq!((pb.l_max, pb.b_max), (0.9, 0.3));
+    }
+
+    #[test]
+    fn paper64_geometry() {
+        let c = SystemConfig::paper64(NetworkMode::PB);
+        c.validate();
+        assert_eq!(c.nodes(), 64);
+        assert_eq!(c.wavelengths(), 8);
+        assert_eq!(c.board_of(0), 0);
+        assert_eq!(c.board_of(63), 7);
+        assert_eq!(c.local_of(63), 7);
+        assert_eq!(c.board_of(8), 1);
+        assert_eq!(c.schedule.window, 2000);
+    }
+
+    #[test]
+    fn small_config_validates() {
+        let c = SystemConfig::small(NetworkMode::NpNb);
+        c.validate();
+        assert_eq!(c.nodes(), 16);
+        assert_eq!(c.timing.boards, 4);
+    }
+
+    #[test]
+    fn dpm_override_takes_precedence() {
+        let mut c = SystemConfig::paper64(NetworkMode::PB);
+        assert_eq!(c.dpm_policy(), Some(DpmPolicy::power_bandwidth()));
+        let custom = DpmPolicy::new(0.1, 0.2, 0.0);
+        c.dpm_override = Some(custom);
+        assert_eq!(c.dpm_policy(), Some(custom));
+        // Non-power-aware modes ignore the override entirely.
+        c.mode = NetworkMode::NpB;
+        assert_eq!(c.dpm_policy(), None);
+    }
+
+    #[test]
+    fn capacity_matches_paper_model() {
+        let c = SystemConfig::paper64(NetworkMode::NpNb);
+        let cap = c.capacity();
+        let paper = traffic::capacity::CapacityModel::paper64();
+        assert!((cap.uniform_capacity() - paper.uniform_capacity()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one packet")]
+    fn tiny_tx_queue_rejected() {
+        let mut c = SystemConfig::paper64(NetworkMode::NpNb);
+        c.tx_queue_flits = 4;
+        c.validate();
+    }
+}

@@ -1,0 +1,140 @@
+//! Experiment runner: single runs and load sweeps.
+//!
+//! §4's methodology: warm up, label packets injected during a measurement
+//! interval, run until the labelled packets drain, report throughput
+//! (packets/node/cycle), mean latency (cycles) and power (mW). The load
+//! axis is normalised to the uniform-traffic capacity `N_c`, swept 0.1–0.9.
+
+use crate::config::{NetworkMode, SystemConfig};
+use crate::system::System;
+use desim::phase::PhasePlan;
+use desim::Cycle;
+use traffic::pattern::TrafficPattern;
+
+/// One run's headline numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Normalised offered load (fraction of `N_c`).
+    pub load: f64,
+    /// Accepted throughput, packets/node/cycle.
+    pub throughput: f64,
+    /// Accepted throughput normalised to `N_c`.
+    pub throughput_norm: f64,
+    /// Mean end-to-end latency, cycles.
+    pub latency: f64,
+    /// 95th-percentile latency, cycles.
+    pub latency_p95: f64,
+    /// Average optical power, mW.
+    pub power_mw: f64,
+    /// Mean source-side path time of remote packets (injection →
+    /// TX-queue-ready), cycles.
+    pub src_path: f64,
+    /// Mean TX-queue wait of remote packets (ready → optical departure),
+    /// cycles.
+    pub tx_wait: f64,
+    /// Labelled packets still stuck when the run stopped (0 = clean drain).
+    pub undrained: u64,
+    /// Ownership grants applied (DBR activity).
+    pub grants: u64,
+    /// Bit-rate transitions applied (DPM activity).
+    pub retunes: u64,
+    /// Final cycle of the run.
+    pub cycles: Cycle,
+}
+
+/// Default phase plan used by the figure benches: three R_w windows of
+/// warm-up, six of measurement (enough for several odd–even LS rounds).
+pub fn default_plan(window: Cycle) -> PhasePlan {
+    PhasePlan::new(3 * window, 6 * window).with_max_cycles(40 * window)
+}
+
+/// Runs one configuration at one load point.
+pub fn run_once(
+    cfg: SystemConfig,
+    pattern: TrafficPattern,
+    load: f64,
+    plan: PhasePlan,
+) -> RunResult {
+    let capacity = cfg.capacity().uniform_capacity();
+    let mut sys = System::new(cfg, pattern, load, plan);
+    let cycles = sys.run();
+    let m = sys.metrics();
+    let (grants, retunes) = sys.srs().reconfig_counts();
+    RunResult {
+        load,
+        throughput: m.throughput_ppc(),
+        throughput_norm: m.throughput_ppc() / capacity,
+        latency: m.mean_latency(),
+        latency_p95: m.latency.p95().unwrap_or(0.0),
+        power_mw: m.average_power_mw(),
+        src_path: m.src_path.mean(),
+        tx_wait: m.tx_wait.mean(),
+        undrained: m.tracker.outstanding(),
+        grants,
+        retunes,
+        cycles,
+    }
+}
+
+/// Sweeps the load axis for one (mode, pattern) pair.
+pub fn sweep_loads(
+    mode: NetworkMode,
+    pattern: &TrafficPattern,
+    loads: &[f64],
+    mut make_cfg: impl FnMut(NetworkMode) -> SystemConfig,
+) -> Vec<RunResult> {
+    loads
+        .iter()
+        .map(|&load| {
+            let cfg = make_cfg(mode);
+            let plan = default_plan(cfg.schedule.window);
+            run_once(cfg, pattern.clone(), load, plan)
+        })
+        .collect()
+}
+
+/// The paper's load axis: 0.1 – 0.9 in steps of 0.1.
+pub fn paper_loads() -> Vec<f64> {
+    (1..=9).map(|i| i as f64 / 10.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_loads_axis() {
+        let l = paper_loads();
+        assert_eq!(l.len(), 9);
+        assert!((l[0] - 0.1).abs() < 1e-12);
+        assert!((l[8] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_once_produces_consistent_result() {
+        let cfg = SystemConfig::small(NetworkMode::NpNb);
+        let plan = default_plan(cfg.schedule.window);
+        let r = run_once(cfg, TrafficPattern::Uniform, 0.3, plan);
+        assert!((r.load - 0.3).abs() < 1e-12);
+        assert!(r.throughput > 0.0);
+        assert!(r.throughput_norm > 0.0 && r.throughput_norm < 1.2);
+        assert!(r.latency > 0.0);
+        assert!(r.latency_p95 >= r.latency * 0.5);
+        assert!(r.power_mw > 0.0);
+        assert_eq!(r.undrained, 0);
+        assert_eq!(r.grants, 0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_load_below_saturation() {
+        let results = sweep_loads(
+            NetworkMode::NpNb,
+            &TrafficPattern::Uniform,
+            &[0.2, 0.4],
+            SystemConfig::small,
+        );
+        assert_eq!(results.len(), 2);
+        assert!(results[1].throughput > results[0].throughput);
+    }
+}

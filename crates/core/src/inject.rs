@@ -1,0 +1,7 @@
+//! Flit injectors — re-exported from the `router` crate.
+//!
+//! The injector state machine lives with the router it feeds
+//! ([`router::inject`]); this module preserves the original path within
+//! `erapid-core`.
+
+pub use router::inject::FlitInjector;

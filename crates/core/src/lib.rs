@@ -1,0 +1,64 @@
+//! # erapid-core — the E-RAPID system model
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! substrate crates: an R(C,B,D) opto-electronic interconnect
+//! (§2) with Lock-Step power/bandwidth reconfiguration (§3) and the
+//! evaluation harness that regenerates §4.
+//!
+//! Architecture of one simulated system:
+//!
+//! ```text
+//!  per board:                                  shared:
+//!  ┌──────────────────────────────┐
+//!  │ D nodes ──► IBI VC router ───┼─► per-destination TX queues
+//!  │   ▲                          │        │ (flit reassembly)
+//!  │   └── RX injectors ◄─────────┼────┐   ▼
+//!  └──────────────────────────────┘    │  SRS: wavelength ownership map,
+//!                                      │  optical channels (serialization,
+//!          packet arrivals ◄──────────-┘  bit-rate levels, fiber delay)
+//! ```
+//!
+//! * [`config`] — system parameters and the four network configurations
+//!   NP-NB / P-NB / NP-B / P-B,
+//! * [`inject`] — flit injectors feeding the IBI router from node NIs and
+//!   optical receivers,
+//! * [`txqueue`] — per-destination-board transmitter queues (packets are
+//!   the interleaving unit in the optical domain, §2.1),
+//! * [`srs`] — the Scalable Remote Optical Super-Highway: ownership map +
+//!   channel bank + in-flight arrivals,
+//! * [`board`] — one board: router, NIs, TX queues, receivers,
+//! * [`system`] — the full system and its cycle loop, including the LS
+//!   odd–even reconfiguration triggers,
+//! * [`metrics`] — run metrics (throughput, latency, power, reconfig
+//!   counters),
+//! * [`experiment`] — load sweeps and the figure-series runner.
+
+//!
+//! ## Example: one experiment point
+//!
+//! ```
+//! use erapid_core::config::{NetworkMode, SystemConfig};
+//! use erapid_core::experiment::run_once;
+//! use desim::phase::PhasePlan;
+//! use traffic::pattern::TrafficPattern;
+//!
+//! let cfg = SystemConfig::small(NetworkMode::PB); // fast R(1,4,4) system
+//! let plan = PhasePlan::new(2000, 4000).with_max_cycles(40_000);
+//! let r = run_once(cfg, TrafficPattern::Uniform, 0.3, plan);
+//! assert!(r.throughput > 0.0);
+//! assert!(r.power_mw > 0.0);
+//! assert_eq!(r.undrained, 0);
+//! ```
+
+pub mod board;
+pub mod config;
+pub mod experiment;
+pub mod inject;
+pub mod metrics;
+pub mod srs;
+pub mod system;
+pub mod txqueue;
+
+pub use config::{NetworkMode, SystemConfig};
+pub use experiment::{run_once, sweep_loads, RunResult};
+pub use system::System;

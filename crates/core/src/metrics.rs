@@ -1,0 +1,102 @@
+//! Run metrics: the three quantities every figure of §4 reports, plus
+//! reconfiguration counters.
+
+use desim::phase::{PhasePlan, PhaseTracker};
+use desim::Cycle;
+use netstats::meter::{LatencyMeter, PowerMeter, ThroughputMeter};
+use netstats::running::Running;
+
+/// Metrics collected over one simulation run.
+pub struct RunMetrics {
+    /// Accepted throughput (deliveries during the measurement interval).
+    pub throughput: ThroughputMeter,
+    /// End-to-end latency of labelled packets.
+    pub latency: LatencyMeter,
+    /// Average optical-link power over the measurement interval.
+    pub power: PowerMeter,
+    /// Labelled-packet completion tracking.
+    pub tracker: PhaseTracker,
+    /// The phase plan of the run.
+    pub plan: PhasePlan,
+    /// Total packets injected (all phases).
+    pub injected_total: u64,
+    /// Total packets delivered (all phases).
+    pub delivered_total: u64,
+    /// Latency decomposition, source side: injection → TX-queue-ready
+    /// (NI wait + IBI traversal + reassembly), labelled remote packets.
+    pub src_path: Running,
+    /// Latency decomposition: TX-queue wait (ready → optical departure).
+    pub tx_wait: Running,
+}
+
+impl RunMetrics {
+    /// Creates metrics for a network of `nodes` nodes under `plan`.
+    pub fn new(nodes: usize, plan: PhasePlan) -> Self {
+        let mut throughput = ThroughputMeter::new(nodes);
+        throughput.start(plan.measure_start());
+        Self {
+            throughput,
+            latency: LatencyMeter::standard(),
+            power: PowerMeter::new(),
+            tracker: PhaseTracker::new(),
+            plan,
+            injected_total: 0,
+            delivered_total: 0,
+            src_path: Running::new(),
+            tx_wait: Running::new(),
+        }
+    }
+
+    /// True while `now` is inside the measurement interval.
+    pub fn measuring(&self, now: Cycle) -> bool {
+        now >= self.plan.measure_start() && now < self.plan.measure_end()
+    }
+
+    /// Accepted throughput in packets/node/cycle.
+    pub fn throughput_ppc(&self) -> f64 {
+        self.throughput.throughput(self.plan.measure_end())
+    }
+
+    /// Mean latency in cycles of measured packets.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Average power in mW over the measurement interval.
+    pub fn average_power_mw(&self) -> f64 {
+        self.power.average_mw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measuring_window() {
+        let m = RunMetrics::new(4, PhasePlan::new(100, 50));
+        assert!(!m.measuring(99));
+        assert!(m.measuring(100));
+        assert!(m.measuring(149));
+        assert!(!m.measuring(150));
+    }
+
+    #[test]
+    fn throughput_starts_at_measure_start() {
+        let mut m = RunMetrics::new(2, PhasePlan::new(100, 100));
+        m.throughput.deliver(150, 8);
+        m.throughput.deliver(180, 8);
+        // 2 packets / (2 nodes × 100 cycles).
+        assert!((m.throughput_ppc() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = RunMetrics::new(4, PhasePlan::new(10, 10));
+        assert_eq!(m.throughput_ppc(), 0.0);
+        assert_eq!(m.mean_latency(), 0.0);
+        assert_eq!(m.average_power_mw(), 0.0);
+        assert_eq!(m.injected_total, 0);
+        assert_eq!(m.delivered_total, 0);
+    }
+}

@@ -1,0 +1,703 @@
+//! The Scalable Remote Optical Super-Highway (SRS).
+//!
+//! Owns the wavelength ownership map (which source board may light
+//! wavelength `w` toward destination board `d`), the bank of optical
+//! channels, in-flight packet arrivals, and the per-channel DPM/DBR state
+//! machines (pending retunes and pending grants). The WDM invariant — at
+//! most one lit laser per (destination, wavelength) — is enforced here: a
+//! granted channel only lights after the donor's laser is dark.
+
+use crate::txqueue::ReadyPacket;
+use desim::queue::{BinaryHeapQueue, EventQueue};
+use desim::Cycle;
+use netstats::windowed::WindowedUtilization;
+use photonics::bitrate::{RateLadder, RateLevel};
+use photonics::channel::{ChannelState, OpticalChannel};
+use photonics::power::LinkPowerModel;
+use photonics::rwa::StaticRwa;
+use photonics::serdes::Serdes;
+use photonics::wavelength::{BoardId, Wavelength};
+use reconfig::msg::WavelengthGrant;
+
+/// A packet arriving at a destination board's receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Destination board.
+    pub dst_board: u16,
+    /// Wavelength it arrived on.
+    pub wavelength: u16,
+    /// Source board.
+    pub src_board: u16,
+    /// The packet.
+    pub packet: ReadyPacket,
+}
+
+/// One in-flight ownership transfer.
+#[derive(Debug, Clone, Copy)]
+struct PendingGrant {
+    grant: WavelengthGrant,
+    donor_dark: bool,
+}
+
+/// The optical stage.
+pub struct Srs {
+    boards: u16,
+    wavelengths: u16,
+    /// `owner[d][w]` — board allowed to light `w` toward `d`.
+    owner: Vec<Vec<Option<u16>>>,
+    /// Dense channel bank indexed by `(s·B + d)·W + w`.
+    channels: Vec<OpticalChannel>,
+    /// Per-channel link-utilization counters (`Link_util`).
+    link_util: Vec<WindowedUtilization>,
+    arrivals: BinaryHeapQueue<Arrival>,
+    pending_grants: Vec<PendingGrant>,
+    /// Per-channel pending DPM retune: `(target level, penalty)`.
+    pending_retune: Vec<Option<(RateLevel, Cycle)>>,
+    power_model: LinkPowerModel,
+    /// Receiver lock-in penalty charged when a granted channel lights.
+    lock_penalty: Cycle,
+    /// Failed (destination, wavelength) pairs: the demux/receiver is dead,
+    /// nobody can use the wavelength toward that board any more.
+    failed: Vec<(u16, u16)>,
+    /// Lifetime counters.
+    grants_applied: u64,
+    retunes_applied: u64,
+}
+
+impl Srs {
+    /// Builds the SRS with static RWA ownership, all static channels on at
+    /// the ladder's highest level.
+    pub fn new(
+        boards: u16,
+        ladder: RateLadder,
+        serdes: Serdes,
+        fiber_delay: Cycle,
+        power_model: LinkPowerModel,
+        window: Cycle,
+        lock_penalty: Cycle,
+    ) -> Self {
+        let w_count = boards;
+        let rwa = StaticRwa::new(boards);
+        let owner = vec![vec![None; w_count as usize]; boards as usize];
+        let mut channels = Vec::with_capacity((boards as usize).pow(2) * w_count as usize);
+        let mut link_util = Vec::with_capacity(channels.capacity());
+        for s in 0..boards {
+            for d in 0..boards {
+                for w in 0..w_count {
+                    channels.push(OpticalChannel::new(
+                        BoardId(s),
+                        BoardId(d),
+                        Wavelength(w),
+                        ladder.clone(),
+                        serdes,
+                        fiber_delay,
+                    ));
+                    link_util.push(WindowedUtilization::new(window));
+                }
+            }
+        }
+        let mut srs = Self {
+            boards,
+            wavelengths: w_count,
+            owner,
+            channels,
+            link_util,
+            arrivals: BinaryHeapQueue::new(),
+            pending_grants: Vec::new(),
+            pending_retune: vec![None; (boards as usize).pow(2) * w_count as usize],
+            power_model,
+            lock_penalty,
+            failed: Vec::new(),
+            grants_applied: 0,
+            retunes_applied: 0,
+        };
+        // Static RWA: one lit laser per (destination, remote wavelength).
+        for d in 0..boards {
+            for w in 1..w_count {
+                let s = rwa.static_owner(BoardId(d), Wavelength(w));
+                srs.owner[d as usize][w as usize] = Some(s.0);
+                srs.channel_mut(s.0, d, w).power_on();
+            }
+        }
+        srs
+    }
+
+    fn idx(&self, s: u16, d: u16, w: u16) -> usize {
+        ((s as usize * self.boards as usize) + d as usize) * self.wavelengths as usize
+            + w as usize
+    }
+
+    /// The channel for `(source, destination, wavelength)`.
+    pub fn channel(&self, s: u16, d: u16, w: u16) -> &OpticalChannel {
+        &self.channels[self.idx(s, d, w)]
+    }
+
+    fn channel_mut(&mut self, s: u16, d: u16, w: u16) -> &mut OpticalChannel {
+        let i = self.idx(s, d, w);
+        &mut self.channels[i]
+    }
+
+    /// Current owner of wavelength `w` toward destination `d`.
+    pub fn owner(&self, d: u16, w: u16) -> Option<u16> {
+        self.owner[d as usize][w as usize]
+    }
+
+    /// Wavelengths board `s` currently owns toward destination `d`.
+    pub fn owned_wavelengths(&self, s: u16, d: u16) -> Vec<u16> {
+        (0..self.wavelengths)
+            .filter(|&w| self.owner[d as usize][w as usize] == Some(s))
+            .collect()
+    }
+
+    /// Lifetime `(grants, retunes)` applied.
+    pub fn reconfig_counts(&self) -> (u64, u64) {
+        (self.grants_applied, self.retunes_applied)
+    }
+
+    /// Number of lasers currently on.
+    pub fn lasers_on(&self) -> usize {
+        self.channels.iter().filter(|c| c.is_on()).count()
+    }
+
+    /// True when the receiver for wavelength `w` at board `d` has failed.
+    pub fn is_failed(&self, d: u16, w: u16) -> bool {
+        self.failed.contains(&(d, w))
+    }
+
+    /// Fault injection: the receiver/demux for wavelength `w` at board `d`
+    /// dies. The owning laser (if any) goes dark as soon as it is idle and
+    /// the wavelength is withdrawn from the ownership map — DBR can no
+    /// longer grant it, and the orphaned flow must win a different
+    /// wavelength through its queue demand.
+    ///
+    /// Any packet already serializing or on the fiber still arrives (the
+    /// photons left before the failure); packets that would *start* after
+    /// `now` cannot.
+    pub fn fail_receiver(&mut self, now: Cycle, d: u16, w: u16) {
+        if self.is_failed(d, w) {
+            return;
+        }
+        self.failed.push((d, w));
+        if let Some(s) = self.owner[d as usize][w as usize].take() {
+            let i = self.idx(s, d, w);
+            self.pending_retune[i] = None;
+            let c = &mut self.channels[i];
+            c.settle(now);
+            if c.is_on() && c.can_send(now) {
+                c.power_off(now);
+            } else if c.is_on() {
+                // Mid-packet: schedule the shutdown through the grant
+                // machinery's donor path by marking a self-grant-free
+                // pending power-off.
+                self.pending_grants.push(PendingGrant {
+                    grant: WavelengthGrant {
+                        destination: BoardId(d),
+                        wavelength: Wavelength(w),
+                        from: BoardId(s),
+                        // A failed wavelength has no recipient: `to` is the
+                        // donor itself, and the relight is suppressed by
+                        // the failure check in `tick`.
+                        to: BoardId(s),
+                    },
+                    donor_dark: false,
+                });
+            }
+        }
+        // Any in-flight ownership transfer on the dead wavelength becomes a
+        // donor-only shutdown: the donor still darkens, but the recipient's
+        // relight is suppressed (tick skips `from == to` and failed pairs).
+        for pg in &mut self.pending_grants {
+            if pg.grant.destination.0 == d && pg.grant.wavelength.0 == w {
+                pg.grant.to = pg.grant.from;
+            }
+        }
+    }
+
+    /// Tries to transmit `packet` from board `s` to board `d` on any free
+    /// owned channel. On success returns the wavelength used; the arrival
+    /// is scheduled internally.
+    pub fn try_transmit(
+        &mut self,
+        now: Cycle,
+        s: u16,
+        d: u16,
+        packet: ReadyPacket,
+    ) -> Option<u16> {
+        let w = (0..self.wavelengths).find(|&w| {
+            self.owner[d as usize][w as usize] == Some(s) && {
+                let c = self.channel(s, d, w);
+                // A channel with a pending retune must not start a packet:
+                // the retune would never get a free window under load.
+                c.can_send(now) && self.pending_retune[self.idx(s, d, w)].is_none()
+            }
+        })?;
+        let i = self.idx(s, d, w);
+        let arrive_at = self.channels[i].begin_packet(now, packet.flits as u32);
+        self.arrivals.insert(
+            arrive_at,
+            Arrival {
+                dst_board: d,
+                wavelength: w,
+                src_board: s,
+                packet,
+            },
+        );
+        Some(w)
+    }
+
+    /// Packets still in flight in the optical domain (serializing or on
+    /// the fiber).
+    pub fn arrivals_pending(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// All packets that have fully arrived by `now`.
+    pub fn arrivals_due(&mut self, now: Cycle) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        while let Some(t) = self.arrivals.peek_time() {
+            if t <= now {
+                out.push(self.arrivals.pop().expect("peeked").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Schedules a DPM retune for channel `(s,d,w)`; applied as soon as the
+    /// wavelength is free.
+    pub fn schedule_retune(&mut self, s: u16, d: u16, w: u16, level: RateLevel, penalty: Cycle) {
+        let i = self.idx(s, d, w);
+        if self.channels[i].level() != level {
+            self.pending_retune[i] = Some((level, penalty));
+        }
+    }
+
+    /// Schedules DBR ownership transfers (already delayed by the protocol
+    /// latency — the caller passes decisions at their apply time).
+    pub fn schedule_grants(&mut self, grants: &[WavelengthGrant]) {
+        for &grant in grants {
+            if self.is_failed(grant.destination.0, grant.wavelength.0) {
+                // A decision raced with a failure; drop it.
+                continue;
+            }
+            // Ownership flips immediately (the Board Response told everyone);
+            // the physical laser swap completes over the next cycles.
+            let d = grant.destination.0;
+            let w = grant.wavelength.0;
+            debug_assert_eq!(self.owner[d as usize][w as usize], Some(grant.from.0));
+            self.owner[d as usize][w as usize] = Some(grant.to.0);
+            // Cancel any pending retune on the donor channel.
+            let di = self.idx(grant.from.0, d, w);
+            self.pending_retune[di] = None;
+            self.pending_grants.push(PendingGrant {
+                grant,
+                donor_dark: false,
+            });
+            self.grants_applied += 1;
+        }
+    }
+
+    /// Per-cycle housekeeping: settle channels, complete retunes and
+    /// ownership transfers.
+    pub fn tick(&mut self, now: Cycle) {
+        // Settle every on channel (cheap: only owned ones are on).
+        for c in &mut self.channels {
+            if c.is_on() {
+                c.settle(now);
+            }
+        }
+        // Apply pending retunes on idle channels.
+        for i in 0..self.pending_retune.len() {
+            if let Some((level, penalty)) = self.pending_retune[i] {
+                let c = &mut self.channels[i];
+                if c.is_on() && c.can_send(now) {
+                    c.begin_transition(now, level, penalty);
+                    self.pending_retune[i] = None;
+                    self.retunes_applied += 1;
+                } else if !c.is_on() {
+                    self.pending_retune[i] = None;
+                }
+            }
+        }
+        // Progress ownership transfers: donor darkens, then recipient lights.
+        let lock = self.lock_penalty;
+        let mut j = 0;
+        while j < self.pending_grants.len() {
+            let pg = self.pending_grants[j];
+            let (d, w) = (pg.grant.destination.0, pg.grant.wavelength.0);
+            if !pg.donor_dark {
+                let di = self.idx(pg.grant.from.0, d, w);
+                let donor = &mut self.channels[di];
+                donor.settle(now);
+                if !donor.is_on() {
+                    self.pending_grants[j].donor_dark = true;
+                } else if donor.can_send(now) {
+                    donor.power_off(now);
+                    self.pending_grants[j].donor_dark = true;
+                }
+            }
+            if self.pending_grants[j].donor_dark {
+                // A failed wavelength never relights.
+                if !self.is_failed(d, w) && pg.grant.from != pg.grant.to {
+                    let ri = self.idx(pg.grant.to.0, d, w);
+                    let recipient = &mut self.channels[ri];
+                    if !recipient.is_on() {
+                        recipient.power_on_dark(now, lock);
+                    }
+                }
+                self.pending_grants.swap_remove(j);
+            } else {
+                j += 1;
+            }
+        }
+    }
+
+    /// Records one cycle of per-channel utilization and returns the total
+    /// instantaneous power draw (mW) of all lit lasers.
+    pub fn record_cycle(&mut self) -> f64 {
+        let mut total = 0.0;
+        for d in 0..self.boards {
+            for w in 0..self.wavelengths {
+                let Some(s) = self.owner[d as usize][w as usize] else {
+                    continue;
+                };
+                let i = self.idx(s, d, w);
+                let c = &self.channels[i];
+                if !c.is_on() {
+                    // Mid-transfer gap: nothing lit on this wavelength.
+                    continue;
+                }
+                let busy = matches!(c.state(), ChannelState::Sending { .. });
+                self.link_util[i].record(if busy { 1.0 } else { 0.0 });
+                total += if busy {
+                    self.power_model.active_mw(c.level())
+                } else {
+                    self.power_model.idle_mw(c.level())
+                };
+            }
+        }
+        total
+    }
+
+    /// Rolls all utilization windows (call at each `R_w` boundary); the
+    /// frozen values feed the next DPM/DBR decisions.
+    pub fn roll_windows(&mut self) {
+        for u in &mut self.link_util {
+            u.roll();
+        }
+    }
+
+    /// Previous-window `Link_util` of channel `(s,d,w)`.
+    pub fn link_util(&self, s: u16, d: u16, w: u16) -> f64 {
+        self.link_util[self.idx(s, d, w)].previous()
+    }
+
+    /// Board count.
+    pub fn boards(&self) -> u16 {
+        self.boards
+    }
+
+    /// Wavelength count.
+    pub fn wavelengths(&self) -> u16 {
+        self.wavelengths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use router::flit::PacketId;
+
+    fn srs() -> Srs {
+        Srs::new(
+            4,
+            RateLadder::paper(),
+            Serdes::paper(),
+            4,
+            LinkPowerModel::paper_table(),
+            100,
+            65,
+        )
+    }
+
+    fn pkt(id: u64) -> ReadyPacket {
+        ReadyPacket {
+            id: PacketId(id),
+            src: 0,
+            dst: 0,
+            injected_at: 0,
+            labelled: false,
+            flits: 8,
+            vc: 0,
+            completed_at: 0,
+        }
+    }
+
+    #[test]
+    fn static_rwa_ownership_at_boot() {
+        let s = srs();
+        // Destination 0: λ1 owned by board 1, λ2 by board 2, λ3 by board 3.
+        assert_eq!(s.owner(0, 1), Some(1));
+        assert_eq!(s.owner(0, 2), Some(2));
+        assert_eq!(s.owner(0, 3), Some(3));
+        assert_eq!(s.owner(0, 0), None);
+        // (B-1) lasers per board on: 4 boards × 3 = 12.
+        assert_eq!(s.lasers_on(), 12);
+        assert_eq!(s.owned_wavelengths(1, 0), vec![1]);
+        assert_eq!(s.boards(), 4);
+        assert_eq!(s.wavelengths(), 4);
+    }
+
+    #[test]
+    fn transmit_and_arrival_roundtrip() {
+        let mut s = srs();
+        let w = s.try_transmit(0, 1, 0, pkt(7)).expect("channel free");
+        assert_eq!(w, 1);
+        // 8 flits × 6 cycles + 4 fiber = arrival at 52.
+        assert!(s.arrivals_due(51).is_empty());
+        let arr = s.arrivals_due(52);
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].dst_board, 0);
+        assert_eq!(arr[0].src_board, 1);
+        assert_eq!(arr[0].packet.id, PacketId(7));
+    }
+
+    #[test]
+    fn busy_channel_rejects_second_packet() {
+        let mut s = srs();
+        assert!(s.try_transmit(0, 1, 0, pkt(1)).is_some());
+        assert!(s.try_transmit(1, 1, 0, pkt(2)).is_none());
+        s.tick(48); // serialization (48) done
+        assert!(s.try_transmit(48, 1, 0, pkt(2)).is_some());
+    }
+
+    #[test]
+    fn grant_transfers_ownership_and_relights() {
+        let mut s = srs();
+        let g = WavelengthGrant {
+            destination: BoardId(0),
+            wavelength: Wavelength(2),
+            from: BoardId(2),
+            to: BoardId(1),
+        };
+        s.schedule_grants(&[g]);
+        assert_eq!(s.owner(0, 2), Some(1));
+        s.tick(10);
+        // Donor dark, recipient locking (dark for 65 cycles).
+        assert!(!s.channel(2, 0, 2).is_on());
+        assert!(s.channel(1, 0, 2).is_on());
+        // Before lock-in the granted channel cannot carry data on λ2, but
+        // board 1 can still use its static λ1 toward 0 — and only that one.
+        assert_eq!(s.try_transmit(11, 1, 0, pkt(9)), Some(1));
+        assert_eq!(s.try_transmit(11, 1, 0, pkt(10)), None);
+        s.tick(80);
+        // Now both of board 1's channels are usable.
+        assert!(s.try_transmit(80, 1, 0, pkt(1)).is_some());
+        assert!(s.try_transmit(80, 1, 0, pkt(2)).is_some());
+        assert_eq!(s.owned_wavelengths(1, 0), vec![1, 2]);
+        assert_eq!(s.reconfig_counts().0, 1);
+    }
+
+    #[test]
+    fn grant_waits_for_donor_mid_packet() {
+        let mut s = srs();
+        // Donor (board 2 → 0 on λ2) starts a long packet at t=0.
+        assert!(s.try_transmit(0, 2, 0, pkt(1)).is_some());
+        let g = WavelengthGrant {
+            destination: BoardId(0),
+            wavelength: Wavelength(2),
+            from: BoardId(2),
+            to: BoardId(1),
+        };
+        s.schedule_grants(&[g]);
+        s.tick(10);
+        // Donor still sending: recipient must not be lit yet.
+        assert!(s.channel(2, 0, 2).is_on());
+        assert!(!s.channel(1, 0, 2).is_on());
+        // After serialization ends (48 cycles) the transfer completes.
+        s.tick(48);
+        assert!(!s.channel(2, 0, 2).is_on());
+        assert!(s.channel(1, 0, 2).is_on());
+        // The in-flight packet still arrives.
+        assert_eq!(s.arrivals_due(52).len(), 1);
+    }
+
+    #[test]
+    fn retune_applies_when_idle_and_blocks_sending() {
+        let mut s = srs();
+        s.schedule_retune(1, 0, 1, RateLevel(0), 65);
+        // Channel is idle: retune applies on the next tick.
+        s.tick(5);
+        assert_eq!(s.channel(1, 0, 1).level(), RateLevel(0));
+        assert_eq!(s.reconfig_counts().1, 1);
+        // Dark during transition.
+        assert!(s.try_transmit(6, 1, 0, pkt(1)).is_none());
+        s.tick(70);
+        assert!(s.try_transmit(70, 1, 0, pkt(1)).is_some());
+    }
+
+    #[test]
+    fn retune_to_same_level_is_ignored() {
+        let mut s = srs();
+        s.schedule_retune(1, 0, 1, RateLevel(2), 65);
+        s.tick(1);
+        assert_eq!(s.reconfig_counts().1, 0);
+        assert!(s.try_transmit(1, 1, 0, pkt(1)).is_some());
+    }
+
+    #[test]
+    fn power_accounting_idle_vs_active() {
+        let mut s = srs();
+        let idle_total = s.record_cycle();
+        // 12 idle lasers at 43.03 × 0.05.
+        assert!((idle_total - 12.0 * 43.03 * 0.05).abs() < 1e-6);
+        s.try_transmit(0, 1, 0, pkt(1)).unwrap();
+        let one_active = s.record_cycle();
+        assert!((one_active - (11.0 * 43.03 * 0.05 + 43.03)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn link_util_windows_roll() {
+        let mut s = srs();
+        s.try_transmit(0, 1, 0, pkt(1)).unwrap();
+        for now in 0..100u64 {
+            s.tick(now);
+            s.record_cycle();
+        }
+        s.roll_windows();
+        // 48 of 100 cycles busy on (1,0,λ1).
+        assert!((s.link_util(1, 0, 1) - 0.48).abs() < 0.02);
+        assert_eq!(s.link_util(2, 0, 2), 0.0);
+    }
+
+    #[test]
+    fn transmit_spreads_over_multiple_owned_channels() {
+        let mut s = srs();
+        s.schedule_grants(&[WavelengthGrant {
+            destination: BoardId(0),
+            wavelength: Wavelength(2),
+            from: BoardId(2),
+            to: BoardId(1),
+        }]);
+        s.tick(0);
+        s.tick(66); // lock-in done
+        let w1 = s.try_transmit(66, 1, 0, pkt(1)).unwrap();
+        let w2 = s.try_transmit(66, 1, 0, pkt(2)).unwrap();
+        assert_ne!(w1, w2, "two packets in flight on two wavelengths");
+        assert!(s.try_transmit(66, 1, 0, pkt(3)).is_none());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use photonics::bitrate::RateLadder;
+    use photonics::serdes::Serdes;
+    use router::flit::PacketId;
+
+    fn srs() -> Srs {
+        Srs::new(
+            4,
+            RateLadder::paper(),
+            Serdes::paper(),
+            4,
+            LinkPowerModel::paper_table(),
+            100,
+            65,
+        )
+    }
+
+    fn pkt(id: u64) -> ReadyPacket {
+        ReadyPacket {
+            id: PacketId(id),
+            src: 0,
+            dst: 0,
+            injected_at: 0,
+            labelled: false,
+            flits: 8,
+            vc: 0,
+            completed_at: 0,
+        }
+    }
+
+    #[test]
+    fn failing_an_idle_receiver_darkens_the_owner() {
+        let mut s = srs();
+        assert_eq!(s.owner(0, 1), Some(1));
+        s.fail_receiver(0, 0, 1);
+        assert!(s.is_failed(0, 1));
+        assert_eq!(s.owner(0, 1), None);
+        assert!(!s.channel(1, 0, 1).is_on());
+        // The flow 1→0 can no longer transmit (no owned wavelength).
+        assert!(s.try_transmit(1, 1, 0, pkt(1)).is_none());
+        assert_eq!(s.lasers_on(), 11);
+    }
+
+    #[test]
+    fn failing_mid_packet_lets_the_photons_land_then_darkens() {
+        let mut s = srs();
+        assert!(s.try_transmit(0, 1, 0, pkt(7)).is_some());
+        s.fail_receiver(5, 0, 1);
+        // Still lit mid-packet.
+        assert!(s.channel(1, 0, 1).is_on());
+        s.tick(20);
+        assert!(s.channel(1, 0, 1).is_on(), "packet still serializing");
+        // The in-flight packet arrives (left before the failure)...
+        assert_eq!(s.arrivals_due(52).len(), 1);
+        // ...and once the wavelength clears, the laser goes dark for good.
+        s.tick(48);
+        assert!(!s.channel(1, 0, 1).is_on());
+        assert_eq!(s.owner(0, 1), None);
+    }
+
+    #[test]
+    fn grants_on_failed_wavelengths_are_dropped() {
+        let mut s = srs();
+        s.fail_receiver(0, 0, 2);
+        let g = WavelengthGrant {
+            destination: BoardId(0),
+            wavelength: Wavelength(2),
+            from: BoardId(2),
+            to: BoardId(1),
+        };
+        s.schedule_grants(&[g]);
+        s.tick(1);
+        s.tick(100);
+        assert_eq!(s.owner(0, 2), None);
+        assert!(!s.channel(1, 0, 2).is_on());
+        assert_eq!(s.reconfig_counts().0, 0);
+    }
+
+    #[test]
+    fn failure_during_ownership_transfer_suppresses_relight() {
+        let mut s = srs();
+        // Donor busy so the transfer stays pending.
+        assert!(s.try_transmit(0, 2, 0, pkt(1)).is_some());
+        s.schedule_grants(&[WavelengthGrant {
+            destination: BoardId(0),
+            wavelength: Wavelength(2),
+            from: BoardId(2),
+            to: BoardId(1),
+        }]);
+        s.tick(5);
+        assert!(s.channel(2, 0, 2).is_on(), "donor mid-packet");
+        // The receiver dies while the transfer is in flight.
+        s.fail_receiver(6, 0, 2);
+        s.tick(48);
+        s.tick(120);
+        // Donor dark, recipient never lit.
+        assert!(!s.channel(2, 0, 2).is_on());
+        assert!(!s.channel(1, 0, 2).is_on());
+        assert_eq!(s.owner(0, 2), None);
+    }
+
+    #[test]
+    fn double_failure_is_idempotent() {
+        let mut s = srs();
+        s.fail_receiver(0, 0, 1);
+        s.fail_receiver(1, 0, 1);
+        assert!(s.is_failed(0, 1));
+        assert_eq!(s.lasers_on(), 11);
+    }
+}

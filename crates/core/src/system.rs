@@ -1,0 +1,728 @@
+//! The assembled E-RAPID system and its cycle loop.
+//!
+//! [`System::step`] advances one router clock cycle:
+//!
+//! 1. at `R_w` boundaries, roll all hardware-counter windows and trigger
+//!    the LS odd–even cycle — DPM decisions apply locally, DBR decisions
+//!    apply after the five-stage protocol latency,
+//! 2. node traffic generators inject packets into their NIs,
+//! 3. every board steps its IBI router (deliveries eject, remote flits
+//!    reassemble in TX queues),
+//! 4. ready packets in TX queues depart on free owned optical channels,
+//! 5. optical arrivals enter the destination boards' receiver injectors,
+//! 6. the SRS settles channel state and the power meter samples the
+//!    instantaneous link power.
+
+use crate::board::Board;
+use crate::config::{ControlPlane, NetworkMode, SystemConfig};
+use crate::metrics::RunMetrics;
+use crate::srs::Srs;
+use desim::phase::{Phase, PhasePlan};
+use desim::Cycle;
+use reconfig::alloc::{FlowDemand, IncomingLink};
+use reconfig::lockstep::WindowKind;
+use reconfig::msg::{LinkReading, WavelengthGrant};
+use reconfig::protocol::DbrRound;
+use router::flit::{NodeId, PacketId};
+use router::packet::Packet;
+use photonics::wavelength::{BoardId, Wavelength};
+use traffic::generator::NodeGenerator;
+use traffic::pattern::TrafficPattern;
+use traffic::trace::TraceReplayer;
+
+/// A full simulated E-RAPID system.
+pub struct System {
+    cfg: SystemConfig,
+    boards: Vec<Board>,
+    srs: Srs,
+    generators: Vec<NodeGenerator>,
+    /// When set, injection replays this trace instead of the generators.
+    replay: Option<TraceReplayer>,
+    next_packet_id: u64,
+    now: Cycle,
+    metrics: RunMetrics,
+    /// DBR grant batches awaiting their protocol-latency apply time
+    /// (analytic control plane).
+    pending_dbr: Vec<(Cycle, Vec<WavelengthGrant>)>,
+    /// In-flight message-level DBR round (message-level control plane).
+    active_round: Option<DbrRound>,
+}
+
+impl System {
+    /// Builds a system running `pattern` at normalised `load` (fraction of
+    /// the uniform-traffic capacity `N_c`) under the given phase plan.
+    pub fn new(cfg: SystemConfig, pattern: TrafficPattern, load: f64, plan: PhasePlan) -> Self {
+        cfg.validate();
+        let rate = cfg.capacity().injection_rate(load);
+        let nodes = cfg.nodes();
+        let generators = match cfg.burst {
+            None => traffic::generator::build_generators(nodes, &pattern, rate, cfg.seed),
+            Some(b) => traffic::generator::build_bursty_generators(
+                nodes,
+                &pattern,
+                rate,
+                b.burstiness,
+                b.dwell,
+                cfg.seed,
+            ),
+        };
+        let boards = (0..cfg.boards).map(|b| Board::new(&cfg, b)).collect();
+        let srs = Srs::new(
+            cfg.boards,
+            cfg.ladder.clone(),
+            cfg.serdes,
+            cfg.fiber.delay_cycles(),
+            cfg.power_model.clone(),
+            cfg.schedule.window,
+            cfg.transition.penalty(),
+        );
+        let metrics = RunMetrics::new(nodes as usize, plan);
+        Self {
+            cfg,
+            boards,
+            srs,
+            generators,
+            replay: None,
+            next_packet_id: 0,
+            now: 0,
+            metrics,
+            pending_dbr: Vec::new(),
+            active_round: None,
+        }
+    }
+
+    /// Builds a system that replays a recorded injection trace instead of
+    /// drawing from live traffic generators — exact workload replay across
+    /// configurations (`load`/`pattern` are irrelevant; every injection
+    /// comes from the trace).
+    pub fn with_trace(cfg: SystemConfig, replay: TraceReplayer, plan: PhasePlan) -> Self {
+        let mut sys = Self::new(cfg, TrafficPattern::Uniform, 0.0, plan);
+        sys.replay = Some(replay);
+        sys
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The optical stage (for inspection).
+    pub fn srs(&self) -> &Srs {
+        &self.srs
+    }
+
+    /// A board (for inspection).
+    pub fn board(&self, b: u16) -> &Board {
+        &self.boards[b as usize]
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) {
+        self.step_inner(true);
+    }
+
+    /// Advances one cycle with the traffic sources silenced — used to
+    /// drain the network completely (conservation checks, clean shutdown).
+    pub fn step_without_injection(&mut self) {
+        self.step_inner(false);
+    }
+
+    fn step_inner(&mut self, inject: bool) {
+        let now = self.now;
+        self.window_boundary(now);
+        self.apply_due_dbr(now);
+        self.tick_active_round(now);
+        if inject {
+            self.inject(now);
+        }
+        self.step_boards(now);
+        self.transmit(now);
+        self.receive(now);
+        self.srs.tick(now);
+        let mw = self.srs.record_cycle();
+        if self.metrics.measuring(now) {
+            self.metrics.power.record(mw);
+        }
+        self.now += 1;
+    }
+
+    /// Runs until every labelled packet drains (or the plan's hard cap).
+    /// Returns the final cycle.
+    pub fn run(&mut self) -> Cycle {
+        let plan = self.metrics.plan;
+        while self.now < plan.max_cycles && !self.metrics.tracker.complete(&plan, self.now) {
+            self.step();
+        }
+        self.now
+    }
+
+    /// `R_w` boundary handling: roll windows, trigger the odd–even cycle.
+    fn window_boundary(&mut self, now: Cycle) {
+        if !self.cfg.schedule.is_boundary(now) {
+            return;
+        }
+        self.srs.roll_windows();
+        for b in &mut self.boards {
+            b.roll_windows();
+        }
+        match self.cfg.schedule.kind_at(now) {
+            Some(WindowKind::Power) if self.cfg.mode.power_aware() => self.power_cycle(),
+            Some(WindowKind::Bandwidth) if self.cfg.mode.bandwidth_reconfig() => {
+                self.bandwidth_cycle(now)
+            }
+            _ => {}
+        }
+    }
+
+    /// DPM: every lit channel's LC compares the previous window's
+    /// `Link_util`/`Buffer_util` against the thresholds and retunes.
+    fn power_cycle(&mut self) {
+        let Some(policy) = self.cfg.dpm_policy() else {
+            return;
+        };
+        let boards = self.cfg.boards;
+        let wavelengths = self.cfg.wavelengths();
+        for d in 0..boards {
+            for w in 0..wavelengths {
+                let Some(s) = self.srs.owner(d, w) else {
+                    continue;
+                };
+                let link_util = self.srs.link_util(s, d, w);
+                let buffer_util = self.boards[s as usize].buffer_util(d);
+                let channel = self.srs.channel(s, d, w);
+                if !channel.is_on() {
+                    continue;
+                }
+                let level = channel.level();
+                use powermgmt::policy::ScaleDecision;
+                let target = match policy.decide(link_util, buffer_util) {
+                    ScaleDecision::Down => self.cfg.ladder.down(level),
+                    ScaleDecision::Up => self.cfg.ladder.up(level),
+                    ScaleDecision::Hold => level,
+                };
+                if target != level {
+                    let penalty = self.cfg.transition.penalty_between(level, target);
+                    self.srs.schedule_retune(s, d, w, target, penalty);
+                }
+            }
+        }
+    }
+
+    /// DBR trigger: either compute decisions now and delay their effect by
+    /// the analytic five-stage latency, or launch a message-level round on
+    /// the control ring that arrives at the same answer the slow way.
+    fn bandwidth_cycle(&mut self, now: Cycle) {
+        match self.cfg.control_plane {
+            ControlPlane::AnalyticLatency => {
+                let all_grants = self.compute_grants();
+                if !all_grants.is_empty() {
+                    self.pending_dbr
+                        .push((now + self.cfg.timing.dbr_latency(), all_grants));
+                }
+            }
+            ControlPlane::MessageLevel => {
+                if self.active_round.is_some() {
+                    // The previous round is somehow still running (only
+                    // possible with an R_w shorter than the protocol);
+                    // drop the stale round in favour of fresh statistics.
+                    self.active_round = None;
+                }
+                let (outgoing, demands) = self.round_inputs();
+                self.active_round = Some(DbrRound::new(
+                    self.cfg.timing,
+                    self.cfg.alloc,
+                    now,
+                    outgoing,
+                    demands,
+                ));
+            }
+        }
+    }
+
+    /// Direct evaluation of the Reconfigure stage for every destination.
+    fn compute_grants(&self) -> Vec<WavelengthGrant> {
+        let boards = self.cfg.boards;
+        let wavelengths = self.cfg.wavelengths();
+        let mut all_grants = Vec::new();
+        for d in 0..boards {
+            let mut channels = Vec::new();
+            for w in 1..wavelengths {
+                if let Some(s) = self.srs.owner(d, w) {
+                    channels.push(IncomingLink {
+                        wavelength: Wavelength(w),
+                        owner: BoardId(s),
+                        buffer_util: self.boards[s as usize].buffer_util(d),
+                    });
+                }
+            }
+            let demands: Vec<FlowDemand> = (0..boards)
+                .filter(|&s| s != d)
+                .map(|s| FlowDemand {
+                    source: BoardId(s),
+                    buffer_util: self.boards[s as usize].buffer_util(d),
+                })
+                .collect();
+            let grants =
+                self.cfg
+                    .alloc
+                    .reconfigure_with_demands(BoardId(d), &channels, &demands);
+            all_grants.extend(grants);
+        }
+        all_grants
+    }
+
+    /// Builds the Link-Request readings and flow demands a message-level
+    /// round starts from (the LC hardware-counter state of the previous
+    /// window).
+    fn round_inputs(&self) -> (Vec<Vec<LinkReading>>, Vec<Vec<FlowDemand>>) {
+        let boards = self.cfg.boards;
+        let wavelengths = self.cfg.wavelengths();
+        let mut outgoing = vec![Vec::new(); boards as usize];
+        for d in 0..boards {
+            for w in 1..wavelengths {
+                if let Some(s) = self.srs.owner(d, w) {
+                    let ch = self.srs.channel(s, d, w);
+                    outgoing[s as usize].push(LinkReading {
+                        wavelength: Wavelength(w),
+                        destination: Some(BoardId(d)),
+                        link_util: self.srs.link_util(s, d, w),
+                        buffer_util: self.boards[s as usize].buffer_util(d),
+                        level: ch.level(),
+                    });
+                }
+            }
+        }
+        let demands = (0..boards)
+            .map(|d| {
+                (0..boards)
+                    .filter(|&s| s != d)
+                    .map(|s| FlowDemand {
+                        source: BoardId(s),
+                        buffer_util: self.boards[s as usize].buffer_util(d),
+                    })
+                    .collect()
+            })
+            .collect();
+        (outgoing, demands)
+    }
+
+    /// Advances an in-flight message-level round; applies its outcome on
+    /// the cycle the Link Response stage completes.
+    fn tick_active_round(&mut self, now: Cycle) {
+        let Some(round) = &mut self.active_round else {
+            return;
+        };
+        if let Some(outcome) = round.tick(now) {
+            self.srs.schedule_grants(&outcome.grants);
+            self.active_round = None;
+        }
+    }
+
+    fn apply_due_dbr(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.pending_dbr.len() {
+            if self.pending_dbr[i].0 <= now {
+                let (_, grants) = self.pending_dbr.swap_remove(i);
+                self.srs.schedule_grants(&grants);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Node injection: Bernoulli sources fire into their NIs (or the
+    /// replayed trace's entries due this cycle).
+    fn inject(&mut self, now: Cycle) {
+        let plan = self.metrics.plan;
+        let labelled = plan.phase_at(now) == Phase::Measure;
+        if let Some(rep) = &mut self.replay {
+            for e in rep.due(now) {
+                let id = PacketId(self.next_packet_id);
+                self.next_packet_id += 1;
+                let packet = Packet {
+                    id,
+                    src: NodeId(e.src),
+                    dst: NodeId(e.dst),
+                    flits: self.cfg.packet_flits,
+                    injected_at: now,
+                    labelled,
+                };
+                if labelled {
+                    self.metrics.tracker.inject_labelled();
+                }
+                self.metrics.injected_total += 1;
+                let b = self.cfg.board_of(e.src);
+                let l = self.cfg.local_of(e.src);
+                self.boards[b as usize].enqueue_node_packet(l, packet);
+            }
+            return;
+        }
+        for g in &mut self.generators {
+            let Some(req) = g.poll(now) else { continue };
+            let id = PacketId(self.next_packet_id);
+            self.next_packet_id += 1;
+            let packet = Packet {
+                id,
+                src: NodeId(req.src),
+                dst: NodeId(req.dst),
+                flits: self.cfg.packet_flits,
+                injected_at: now,
+                labelled,
+            };
+            if labelled {
+                self.metrics.tracker.inject_labelled();
+            }
+            self.metrics.injected_total += 1;
+            let b = self.cfg.board_of(req.src);
+            let l = self.cfg.local_of(req.src);
+            self.boards[b as usize].enqueue_node_packet(l, packet);
+        }
+    }
+
+    fn step_boards(&mut self, now: Cycle) {
+        for b in &mut self.boards {
+            for delivered in b.step(now) {
+                self.metrics.delivered_total += 1;
+                if self.metrics.measuring(now) {
+                    self.metrics.throughput.deliver(now, self.cfg.packet_flits as u32);
+                }
+                if delivered.labelled {
+                    self.metrics.tracker.deliver_labelled();
+                    self.metrics.latency.record(delivered.injected_at, now);
+                }
+            }
+        }
+    }
+
+    /// Moves ready TX-queue packets onto free owned optical channels.
+    fn transmit(&mut self, now: Cycle) {
+        let boards = self.cfg.boards;
+        for s in 0..boards {
+            for d in 0..boards {
+                if s == d {
+                    continue;
+                }
+                while let Some(pkt) = self.boards[s as usize].tx_queue(d).peek().copied() {
+                    if self.srs.try_transmit(now, s, d, pkt).is_some() {
+                        let departed = self.boards[s as usize]
+                            .tx_depart(d)
+                            .expect("peeked packet departed");
+                        debug_assert_eq!(departed.id, pkt.id);
+                        if pkt.labelled {
+                            self.metrics
+                                .src_path
+                                .push((pkt.completed_at - pkt.injected_at) as f64);
+                            self.metrics.tx_wait.push((now - pkt.completed_at) as f64);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers optical arrivals into the destination boards' receivers.
+    fn receive(&mut self, now: Cycle) {
+        for arr in self.srs.arrivals_due(now) {
+            self.boards[arr.dst_board as usize].enqueue_rx_packet(arr.wavelength, arr.packet);
+        }
+    }
+
+    /// Fault injection: kills the receiver for wavelength `w` at board `d`
+    /// (see [`Srs::fail_receiver`]). With DBR active the orphaned flow
+    /// re-acquires bandwidth through its queue demand; without it the flow
+    /// starves — the resilience story reconfigurability buys.
+    pub fn fail_receiver(&mut self, d: u16, w: u16) {
+        let now = self.now;
+        self.srs.fail_receiver(now, d, w);
+    }
+
+    /// True when no packet is anywhere in flight — boards idle *and* the
+    /// optical domain empty (no packet serializing or on a fiber).
+    pub fn is_drained(&self) -> bool {
+        self.boards.iter().all(|b| b.is_idle()) && self.srs.arrivals_pending() == 0
+    }
+
+    /// The mode this system runs.
+    pub fn mode(&self) -> NetworkMode {
+        self.cfg.mode
+    }
+}
+
+/// Adapter running a [`System`] as a [`desim::clocked::Clocked`] component,
+/// so it can be composed with other clocked models under one
+/// [`desim::clocked::ClockedEngine`].
+pub struct ClockedSystem {
+    system: System,
+}
+
+impl ClockedSystem {
+    /// Wraps a system.
+    pub fn new(system: System) -> Self {
+        Self { system }
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// Unwraps.
+    pub fn into_inner(self) -> System {
+        self.system
+    }
+}
+
+impl desim::clocked::Clocked for ClockedSystem {
+    /// Shared state mirrors the packet counters: `(injected, delivered)`.
+    type Shared = (u64, u64);
+
+    fn tick(&mut self, now: Cycle, shared: &mut (u64, u64)) {
+        debug_assert_eq!(now, self.system.now(), "engine and system clocks in step");
+        self.system.step();
+        *shared = (
+            self.system.metrics().injected_total,
+            self.system.metrics().delivered_total,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetworkMode;
+
+    fn plan() -> PhasePlan {
+        PhasePlan::new(2000, 4000).with_max_cycles(40_000)
+    }
+
+    fn run(mode: NetworkMode, pattern: TrafficPattern, load: f64) -> System {
+        let cfg = SystemConfig::small(mode);
+        let mut sys = System::new(cfg, pattern, load, plan());
+        sys.run();
+        sys
+    }
+
+    #[test]
+    fn uniform_low_load_delivers_everything() {
+        let sys = run(NetworkMode::NpNb, TrafficPattern::Uniform, 0.2);
+        let m = sys.metrics();
+        assert!(m.injected_total > 0, "traffic must flow");
+        assert_eq!(
+            m.tracker.outstanding(),
+            0,
+            "all labelled packets must drain at low load"
+        );
+        assert!(m.mean_latency() > 0.0);
+        assert!(m.throughput_ppc() > 0.0);
+        assert!(m.average_power_mw() > 0.0);
+    }
+
+    #[test]
+    fn throughput_tracks_offered_load_below_saturation() {
+        let sys = run(NetworkMode::NpNb, TrafficPattern::Uniform, 0.3);
+        let m = sys.metrics();
+        let offered = sys.config().capacity().injection_rate(0.3);
+        let accepted = m.throughput_ppc();
+        assert!(
+            (accepted - offered).abs() / offered < 0.25,
+            "accepted {accepted} vs offered {offered}"
+        );
+    }
+
+    #[test]
+    fn higher_load_does_not_reduce_packets() {
+        let lo = run(NetworkMode::NpNb, TrafficPattern::Uniform, 0.2);
+        let hi = run(NetworkMode::NpNb, TrafficPattern::Uniform, 0.6);
+        assert!(
+            hi.metrics().throughput_ppc() > lo.metrics().throughput_ppc() * 1.5,
+            "hi {} lo {}",
+            hi.metrics().throughput_ppc(),
+            lo.metrics().throughput_ppc()
+        );
+    }
+
+    #[test]
+    fn complement_saturates_np_nb_but_not_np_b() {
+        // The paper's headline: with one static wavelength per board pair,
+        // complement traffic saturates immediately; DBR re-allocates the
+        // idle wavelengths and throughput multiplies.
+        let base = run(NetworkMode::NpNb, TrafficPattern::Complement, 0.6);
+        let reconf = run(NetworkMode::NpB, TrafficPattern::Complement, 0.6);
+        let t_base = base.metrics().throughput_ppc();
+        let t_reconf = reconf.metrics().throughput_ppc();
+        assert!(
+            t_reconf > t_base * 1.5,
+            "DBR must improve complement throughput: {t_reconf} vs {t_base}"
+        );
+        // And reconfiguration actually happened.
+        assert!(reconf.srs().reconfig_counts().0 > 0);
+        assert_eq!(base.srs().reconfig_counts().0, 0);
+    }
+
+    #[test]
+    fn power_aware_mode_saves_power_at_low_load() {
+        let base = run(NetworkMode::NpNb, TrafficPattern::Uniform, 0.2);
+        let pa = run(NetworkMode::PNb, TrafficPattern::Uniform, 0.2);
+        let p_base = base.metrics().average_power_mw();
+        let p_pa = pa.metrics().average_power_mw();
+        assert!(
+            p_pa < p_base * 0.95,
+            "DPM must save power at low load: {p_pa} vs {p_base}"
+        );
+        assert!(pa.srs().reconfig_counts().1 > 0, "retunes must happen");
+    }
+
+    #[test]
+    fn np_modes_never_retune_or_regrant() {
+        let sys = run(NetworkMode::NpNb, TrafficPattern::Uniform, 0.5);
+        assert_eq!(sys.srs().reconfig_counts(), (0, 0));
+        assert_eq!(sys.mode(), NetworkMode::NpNb);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(NetworkMode::PB, TrafficPattern::Uniform, 0.4);
+        let b = run(NetworkMode::PB, TrafficPattern::Uniform, 0.4);
+        assert_eq!(a.metrics().injected_total, b.metrics().injected_total);
+        assert_eq!(a.metrics().delivered_total, b.metrics().delivered_total);
+        assert_eq!(
+            a.metrics().throughput_ppc(),
+            b.metrics().throughput_ppc()
+        );
+        assert_eq!(a.metrics().mean_latency(), b.metrics().mean_latency());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn bursty_sources_flow_and_drain() {
+        let mut cfg = SystemConfig::small(NetworkMode::PB);
+        cfg.burst = Some(crate::config::BurstSpec {
+            burstiness: 4.0,
+            dwell: 1000.0,
+        });
+        let mut sys = System::new(cfg, TrafficPattern::Uniform, 0.3, plan());
+        sys.run();
+        let m = sys.metrics();
+        assert!(m.injected_total > 0);
+        assert_eq!(m.tracker.outstanding(), 0, "bursty low load must drain");
+    }
+
+    #[test]
+    fn message_level_control_plane_matches_analytic_shortcut() {
+        // The same run under both control planes must make identical
+        // decisions at identical times — identical metrics throughout.
+        let run_with = |plane: crate::config::ControlPlane| {
+            let mut cfg = SystemConfig::small(NetworkMode::PB);
+            cfg.control_plane = plane;
+            let mut sys = System::new(cfg, TrafficPattern::Complement, 0.6, plan());
+            sys.run();
+            (
+                sys.metrics().injected_total,
+                sys.metrics().delivered_total,
+                sys.metrics().throughput_ppc(),
+                sys.metrics().mean_latency(),
+                sys.srs().reconfig_counts(),
+                sys.now(),
+            )
+        };
+        let analytic = run_with(crate::config::ControlPlane::AnalyticLatency);
+        let message = run_with(crate::config::ControlPlane::MessageLevel);
+        assert_eq!(analytic, message);
+        // And reconfiguration genuinely happened in both.
+        assert!(analytic.4 .0 > 0, "grants expected under complement");
+    }
+
+    #[test]
+    fn clocked_adapter_matches_direct_stepping() {
+        let mk = || {
+            System::new(
+                SystemConfig::small(NetworkMode::PB),
+                TrafficPattern::Uniform,
+                0.4,
+                plan(),
+            )
+        };
+        let mut direct = mk();
+        for _ in 0..3000 {
+            direct.step();
+        }
+        let mut engine = desim::clocked::ClockedEngine::new((0u64, 0u64));
+        engine.add(Box::new(super::ClockedSystem::new(mk())));
+        engine.run_to(3000);
+        // Identical counters after the same number of cycles — the
+        // adapter introduces no drift.
+        assert_eq!(
+            *engine.shared(),
+            (
+                direct.metrics().injected_total,
+                direct.metrics().delivered_total
+            )
+        );
+    }
+
+    #[test]
+    fn trace_replay_reproduces_a_generated_run_exactly() {
+        // Record what the generators of a reference run inject, replay the
+        // trace into a fresh system of the same configuration, and expect
+        // bit-identical metrics.
+        let cfg = SystemConfig::small(NetworkMode::PB);
+        let rate = cfg.capacity().injection_rate(0.4);
+        let mut gens =
+            traffic::generator::build_generators(cfg.nodes(), &TrafficPattern::Uniform, rate, cfg.seed);
+        let mut rec = traffic::trace::TraceRecorder::new();
+        let horizon = plan().max_cycles;
+        for now in 0..horizon {
+            for g in &mut gens {
+                if let Some(r) = g.poll(now) {
+                    rec.record(now, r.src, r.dst);
+                }
+            }
+        }
+        let mut live = System::new(
+            SystemConfig::small(NetworkMode::PB),
+            TrafficPattern::Uniform,
+            0.4,
+            plan(),
+        );
+        live.run();
+        let mut replayed = System::with_trace(
+            SystemConfig::small(NetworkMode::PB),
+            rec.into_replay(),
+            plan(),
+        );
+        replayed.run();
+        assert_eq!(
+            live.metrics().injected_total,
+            replayed.metrics().injected_total
+        );
+        assert_eq!(
+            live.metrics().delivered_total,
+            replayed.metrics().delivered_total
+        );
+        assert_eq!(live.metrics().mean_latency(), replayed.metrics().mean_latency());
+        assert_eq!(live.now(), replayed.now());
+    }
+
+    #[test]
+    fn zero_load_runs_clean() {
+        let cfg = SystemConfig::small(NetworkMode::PB);
+        let mut sys = System::new(cfg, TrafficPattern::Uniform, 0.0, plan());
+        sys.run();
+        assert_eq!(sys.metrics().injected_total, 0);
+        assert!(sys.is_drained());
+        // Idle lasers still burn idle power.
+        assert!(sys.metrics().average_power_mw() > 0.0);
+    }
+}

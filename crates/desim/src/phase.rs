@@ -1,0 +1,167 @@
+//! Simulation phase management: warm-up → measurement → drain.
+//!
+//! The paper's methodology (§4): the simulator is warmed up under load until
+//! steady state, a sample of packets injected during a *measurement interval*
+//! is labelled, and the run continues until every labelled packet has been
+//! delivered. [`PhasePlan`] encodes the schedule; [`PhaseTracker`] tracks the
+//! outstanding labelled packets so the run knows when it may stop.
+
+use crate::Cycle;
+
+/// The three phases of a steady-state simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Network filling up; no statistics are recorded.
+    Warmup,
+    /// Packets injected now are labelled and measured.
+    Measure,
+    /// No more labelled packets; run continues until all labelled packets
+    /// drain (unlabelled traffic keeps being injected to hold the load).
+    Drain,
+}
+
+/// The phase schedule of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhasePlan {
+    /// Cycles of warm-up before measurement starts.
+    pub warmup: Cycle,
+    /// Cycles of the measurement interval.
+    pub measure: Cycle,
+    /// Hard upper bound on total run length (drain included), as a safety
+    /// net against saturated networks that never drain.
+    pub max_cycles: Cycle,
+}
+
+impl PhasePlan {
+    /// A plan with the given warm-up and measurement windows; the drain bound
+    /// defaults to ten times the measured portion.
+    pub fn new(warmup: Cycle, measure: Cycle) -> Self {
+        Self {
+            warmup,
+            measure,
+            max_cycles: (warmup + measure).saturating_mul(10),
+        }
+    }
+
+    /// Overrides the hard run-length bound.
+    pub fn with_max_cycles(mut self, max: Cycle) -> Self {
+        self.max_cycles = max;
+        self
+    }
+
+    /// Phase active at cycle `t` (ignoring drain completion).
+    pub fn phase_at(&self, t: Cycle) -> Phase {
+        if t < self.warmup {
+            Phase::Warmup
+        } else if t < self.warmup + self.measure {
+            Phase::Measure
+        } else {
+            Phase::Drain
+        }
+    }
+
+    /// First cycle of the measurement interval.
+    pub fn measure_start(&self) -> Cycle {
+        self.warmup
+    }
+
+    /// First cycle after the measurement interval.
+    pub fn measure_end(&self) -> Cycle {
+        self.warmup + self.measure
+    }
+}
+
+/// Tracks labelled-packet completion across a run.
+#[derive(Debug, Default, Clone)]
+pub struct PhaseTracker {
+    labelled_injected: u64,
+    labelled_delivered: u64,
+}
+
+impl PhaseTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the injection of a labelled (measured) packet.
+    pub fn inject_labelled(&mut self) {
+        self.labelled_injected += 1;
+    }
+
+    /// Records the delivery of a labelled packet.
+    pub fn deliver_labelled(&mut self) {
+        self.labelled_delivered += 1;
+        debug_assert!(self.labelled_delivered <= self.labelled_injected);
+    }
+
+    /// Labelled packets injected so far.
+    pub fn injected(&self) -> u64 {
+        self.labelled_injected
+    }
+
+    /// Labelled packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.labelled_delivered
+    }
+
+    /// Labelled packets still in flight.
+    pub fn outstanding(&self) -> u64 {
+        self.labelled_injected - self.labelled_delivered
+    }
+
+    /// True when the run may stop: we are in the drain phase and every
+    /// labelled packet has been delivered.
+    pub fn complete(&self, plan: &PhasePlan, now: Cycle) -> bool {
+        plan.phase_at(now) == Phase::Drain && self.outstanding() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_partition_the_timeline() {
+        let plan = PhasePlan::new(100, 50);
+        assert_eq!(plan.phase_at(0), Phase::Warmup);
+        assert_eq!(plan.phase_at(99), Phase::Warmup);
+        assert_eq!(plan.phase_at(100), Phase::Measure);
+        assert_eq!(plan.phase_at(149), Phase::Measure);
+        assert_eq!(plan.phase_at(150), Phase::Drain);
+        assert_eq!(plan.measure_start(), 100);
+        assert_eq!(plan.measure_end(), 150);
+    }
+
+    #[test]
+    fn default_max_cycles_is_generous() {
+        let plan = PhasePlan::new(1000, 2000);
+        assert_eq!(plan.max_cycles, 30_000);
+        let plan = plan.with_max_cycles(5000);
+        assert_eq!(plan.max_cycles, 5000);
+    }
+
+    #[test]
+    fn tracker_counts_outstanding() {
+        let plan = PhasePlan::new(10, 10);
+        let mut tr = PhaseTracker::new();
+        tr.inject_labelled();
+        tr.inject_labelled();
+        assert_eq!(tr.outstanding(), 2);
+        assert!(!tr.complete(&plan, 25)); // drain but packets in flight
+        tr.deliver_labelled();
+        tr.deliver_labelled();
+        assert!(tr.complete(&plan, 25));
+        assert!(!tr.complete(&plan, 15)); // still measuring
+        assert_eq!(tr.injected(), 2);
+        assert_eq!(tr.delivered(), 2);
+    }
+
+    #[test]
+    fn zero_labelled_completes_immediately_in_drain() {
+        let plan = PhasePlan::new(10, 10);
+        let tr = PhaseTracker::new();
+        assert!(tr.complete(&plan, 20));
+        assert!(!tr.complete(&plan, 0));
+    }
+}

@@ -1,0 +1,405 @@
+//! Process-oriented simulation (the YACSIM programming model).
+//!
+//! YACSIM — the paper's simulation substrate — is process-oriented: model
+//! code is written as sequential *processes* that delay for simulated time
+//! and synchronise on *signals*. This module provides that model on top of
+//! the event kernel, with poll-based resumable processes instead of
+//! coroutines (stable Rust, no unsafe):
+//!
+//! ```
+//! use desim::process::{Process, ProcessCtx, Scheduler, SignalId, Yield};
+//!
+//! struct Blinker { count: u32 }
+//! impl Process for Blinker {
+//!     fn resume(&mut self, ctx: &mut ProcessCtx) -> Yield {
+//!         if self.count == 0 {
+//!             return Yield::Done;
+//!         }
+//!         self.count -= 1;
+//!         ctx.trace(format!("blink at {}", ctx.now()));
+//!         Yield::Delay(10)
+//!     }
+//! }
+//!
+//! let mut sched = Scheduler::new();
+//! sched.spawn(Box::new(Blinker { count: 3 }));
+//! sched.run();
+//! assert_eq!(sched.now(), 30); // blinks at 0, 10, 20; terminates at 30
+//! ```
+
+use crate::sim::Simulator;
+use crate::Cycle;
+use std::collections::HashMap;
+
+/// What a process does next after a resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Yield {
+    /// Sleep for the given number of cycles, then resume.
+    Delay(Cycle),
+    /// Block until the signal fires.
+    Wait(SignalId),
+    /// Terminate the process.
+    Done,
+}
+
+/// A named synchronisation signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(pub u32);
+
+/// Handle to a spawned process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(pub u32);
+
+/// Context passed to a process on each resume.
+pub struct ProcessCtx<'a> {
+    now: Cycle,
+    pid: ProcessId,
+    fired: &'a mut Vec<SignalId>,
+    trace: &'a mut Vec<(Cycle, ProcessId, String)>,
+}
+
+impl ProcessCtx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Fires a signal: every process waiting on it resumes this cycle
+    /// (after the current process yields).
+    pub fn fire(&mut self, signal: SignalId) {
+        self.fired.push(signal);
+    }
+
+    /// Appends a trace record.
+    pub fn trace(&mut self, message: String) {
+        self.trace.push((self.now, self.pid, message));
+    }
+}
+
+/// A resumable process.
+pub trait Process {
+    /// Runs until the next yield point.
+    fn resume(&mut self, ctx: &mut ProcessCtx) -> Yield;
+}
+
+enum Slot {
+    Running(Box<dyn Process>),
+    Waiting(Box<dyn Process>, SignalId),
+    Finished,
+    /// Temporarily taken out while resuming.
+    Vacant,
+}
+
+/// Cooperative process scheduler over the event kernel.
+pub struct Scheduler {
+    sim: Simulator<ProcessId>,
+    slots: Vec<Slot>,
+    trace: Vec<(Cycle, ProcessId, String)>,
+    /// Latched signal counts: a fire with no waiter is remembered, so a
+    /// later `Wait` on the same signal consumes it immediately (semaphore
+    /// semantics — no lost wake-ups).
+    latched: HashMap<SignalId, u32>,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler at cycle 0.
+    pub fn new() -> Self {
+        Self {
+            sim: Simulator::new(),
+            slots: Vec::new(),
+            trace: Vec::new(),
+            latched: HashMap::new(),
+        }
+    }
+
+    /// Spawns a process; it first resumes at the current time.
+    pub fn spawn(&mut self, p: Box<dyn Process>) -> ProcessId {
+        let pid = ProcessId(self.slots.len() as u32);
+        self.slots.push(Slot::Running(p));
+        self.sim.schedule(self.sim.now(), pid);
+        pid
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.sim.now()
+    }
+
+    /// Whether the process has terminated.
+    pub fn is_finished(&self, pid: ProcessId) -> bool {
+        matches!(self.slots[pid.0 as usize], Slot::Finished)
+    }
+
+    /// The accumulated trace records.
+    pub fn trace(&self) -> &[(Cycle, ProcessId, String)] {
+        &self.trace
+    }
+
+    /// Runs until no process is runnable (all finished or deadlocked on
+    /// signals nobody will fire). Returns the number of resumes executed.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(Cycle::MAX)
+    }
+
+    /// Runs until `deadline` or quiescence; returns the resume count.
+    pub fn run_until(&mut self, deadline: Cycle) -> u64 {
+        let mut resumes = 0;
+        while let Some(t) = self.sim.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, pid) = self.sim.next_event().expect("peeked");
+            let slot = std::mem::replace(&mut self.slots[pid.0 as usize], Slot::Vacant);
+            let mut proc_box = match slot {
+                Slot::Running(p) => p,
+                // A stale wake-up for a waiting/finished process (e.g. it
+                // was re-scheduled by a signal and a delay simultaneously)
+                // is ignored.
+                other => {
+                    self.slots[pid.0 as usize] = other;
+                    continue;
+                }
+            };
+            let mut fired = Vec::new();
+            let outcome = {
+                let mut ctx = ProcessCtx {
+                    now,
+                    pid,
+                    fired: &mut fired,
+                    trace: &mut self.trace,
+                };
+                proc_box.resume(&mut ctx)
+            };
+            resumes += 1;
+            self.slots[pid.0 as usize] = match outcome {
+                Yield::Delay(d) => {
+                    self.sim.schedule(now + d, pid);
+                    Slot::Running(proc_box)
+                }
+                Yield::Wait(sig) => {
+                    // A latched fire satisfies the wait immediately.
+                    let count = self.latched.entry(sig).or_insert(0);
+                    if *count > 0 {
+                        *count -= 1;
+                        self.sim.schedule(now, pid);
+                        Slot::Running(proc_box)
+                    } else {
+                        Slot::Waiting(proc_box, sig)
+                    }
+                }
+                Yield::Done => Slot::Finished,
+            };
+            // Deliver fired signals: one waiting process per fire becomes
+            // runnable this cycle (FIFO by pid); a fire with no waiter is
+            // latched.
+            for sig in fired {
+                let mut delivered = false;
+                for (i, slot) in self.slots.iter_mut().enumerate() {
+                    if let Slot::Waiting(_, s) = slot {
+                        if *s == sig {
+                            let taken = std::mem::replace(slot, Slot::Vacant);
+                            if let Slot::Waiting(p, _) = taken {
+                                *slot = Slot::Running(p);
+                                self.sim.schedule(now, ProcessId(i as u32));
+                            }
+                            delivered = true;
+                            break;
+                        }
+                    }
+                }
+                if !delivered {
+                    *self.latched.entry(sig).or_insert(0) += 1;
+                }
+            }
+        }
+        resumes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Delayer {
+        period: Cycle,
+        remaining: u32,
+        log: SignalId,
+    }
+    impl Process for Delayer {
+        fn resume(&mut self, ctx: &mut ProcessCtx) -> Yield {
+            if self.remaining == 0 {
+                ctx.fire(self.log);
+                return Yield::Done;
+            }
+            self.remaining -= 1;
+            ctx.trace(format!("tick {}", self.remaining));
+            Yield::Delay(self.period)
+        }
+    }
+
+    #[test]
+    fn delays_advance_time() {
+        let mut s = Scheduler::new();
+        let pid = s.spawn(Box::new(Delayer {
+            period: 7,
+            remaining: 3,
+            log: SignalId(0),
+        }));
+        let resumes = s.run();
+        assert_eq!(resumes, 4); // 3 ticks + the Done resume
+        assert_eq!(s.now(), 21);
+        assert!(s.is_finished(pid));
+        assert_eq!(s.trace().len(), 3);
+        assert_eq!(s.trace()[0].0, 0);
+        assert_eq!(s.trace()[2].0, 14);
+    }
+
+    struct Waiter {
+        sig: SignalId,
+        woke_at: Option<Cycle>,
+        started: bool,
+    }
+    impl Process for Waiter {
+        fn resume(&mut self, ctx: &mut ProcessCtx) -> Yield {
+            if !self.started {
+                self.started = true;
+                return Yield::Wait(self.sig);
+            }
+            self.woke_at = Some(ctx.now());
+            Yield::Done
+        }
+    }
+
+    struct Firer {
+        sig: SignalId,
+        at_delay: Cycle,
+        fired: bool,
+    }
+    impl Process for Firer {
+        fn resume(&mut self, ctx: &mut ProcessCtx) -> Yield {
+            if !self.fired {
+                self.fired = true;
+                return Yield::Delay(self.at_delay);
+            }
+            ctx.fire(self.sig);
+            Yield::Done
+        }
+    }
+
+    #[test]
+    fn signal_wakes_waiter_at_fire_time() {
+        let mut s = Scheduler::new();
+        let sig = SignalId(9);
+        let w = s.spawn(Box::new(Waiter {
+            sig,
+            woke_at: None,
+            started: false,
+        }));
+        s.spawn(Box::new(Firer {
+            sig,
+            at_delay: 42,
+            fired: false,
+        }));
+        s.run();
+        assert!(s.is_finished(w));
+        assert_eq!(s.now(), 42);
+    }
+
+    #[test]
+    fn unfired_signal_deadlocks_quietly() {
+        let mut s = Scheduler::new();
+        let w = s.spawn(Box::new(Waiter {
+            sig: SignalId(1),
+            woke_at: None,
+            started: false,
+        }));
+        s.run();
+        // Quiescent: the waiter is parked, not finished.
+        assert!(!s.is_finished(w));
+        assert_eq!(s.now(), 0);
+    }
+
+    /// A token-ring of N processes: each waits for its signal, then fires
+    /// the next one after a 1-cycle delay — the LS lock-step in miniature.
+    struct RingNode {
+        my_sig: SignalId,
+        next_sig: SignalId,
+        rounds: u32,
+        state: u8,
+    }
+    impl Process for RingNode {
+        fn resume(&mut self, ctx: &mut ProcessCtx) -> Yield {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    Yield::Wait(self.my_sig)
+                }
+                1 => {
+                    ctx.fire(self.next_sig);
+                    self.rounds -= 1;
+                    if self.rounds == 0 {
+                        Yield::Done
+                    } else {
+                        self.state = 2;
+                        Yield::Delay(1)
+                    }
+                }
+                _ => {
+                    self.state = 1;
+                    Yield::Wait(self.my_sig)
+                }
+            }
+        }
+    }
+
+    struct Kickoff {
+        sig: SignalId,
+        done: bool,
+    }
+    impl Process for Kickoff {
+        fn resume(&mut self, ctx: &mut ProcessCtx) -> Yield {
+            if self.done {
+                return Yield::Done;
+            }
+            self.done = true;
+            ctx.fire(self.sig);
+            Yield::Done
+        }
+    }
+
+    #[test]
+    fn token_ring_circulates() {
+        let n = 4u32;
+        let rounds = 3u32;
+        let mut s = Scheduler::new();
+        let pids: Vec<ProcessId> = (0..n)
+            .map(|i| {
+                s.spawn(Box::new(RingNode {
+                    my_sig: SignalId(i),
+                    next_sig: SignalId((i + 1) % n),
+                    rounds,
+                    state: 0,
+                }))
+            })
+            .collect();
+        s.spawn(Box::new(Kickoff {
+            sig: SignalId(0),
+            done: false,
+        }));
+        s.run();
+        for pid in pids {
+            assert!(s.is_finished(pid), "{pid:?} still parked");
+        }
+    }
+}

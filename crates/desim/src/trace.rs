@@ -1,0 +1,169 @@
+//! Bounded event tracing for debugging simulation models.
+//!
+//! A [`TraceRing`] keeps the last `N` trace records in a fixed ring buffer so
+//! a failing test can dump recent history without unbounded memory. Tracing
+//! is cheap enough to leave compiled in; models gate record emission on
+//! [`TraceRing::enabled`].
+
+use crate::Cycle;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record: a timestamped, categorised message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time of the event.
+    pub time: Cycle,
+    /// Free-form category tag, e.g. `"inject"`, `"dbr"`, `"dpm"`.
+    pub tag: &'static str,
+    /// Rendered message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}] {:<8} {}", self.time, self.tag, self.message)
+    }
+}
+
+/// Fixed-capacity ring of trace records.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` records, enabled.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a disabled ring (records are discarded without formatting).
+    pub fn disabled() -> Self {
+        let mut ring = Self::new(1);
+        ring.enabled = false;
+        ring
+    }
+
+    /// Whether records are currently captured. Models should check this
+    /// before building message strings.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables capture.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Appends a record, evicting the oldest if at capacity.
+    pub fn push(&mut self, time: Cycle, tag: &'static str, message: String) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { time, tag, message });
+    }
+
+    /// Number of records evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded (or capture is off).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records matching a tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.tag == tag)
+    }
+
+    /// Renders the entire ring, one record per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier records dropped ...\n", self.dropped));
+        }
+        for r in &self.records {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut ring = TraceRing::new(3);
+        for t in 0..5 {
+            ring.push(t, "x", format!("m{t}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let times: Vec<Cycle> = ring.iter().map(|r| r.time).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_ring_discards() {
+        let mut ring = TraceRing::disabled();
+        ring.push(1, "x", "ignored".into());
+        assert!(ring.is_empty());
+        assert!(!ring.enabled());
+        ring.set_enabled(true);
+        ring.push(2, "x", "kept".into());
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn tag_filter_and_dump() {
+        let mut ring = TraceRing::new(10);
+        ring.push(1, "dbr", "realloc".into());
+        ring.push(2, "dpm", "scale down".into());
+        ring.push(3, "dbr", "restore".into());
+        assert_eq!(ring.with_tag("dbr").count(), 2);
+        let dump = ring.dump();
+        assert!(dump.contains("scale down"));
+        assert!(dump.lines().count() == 3);
+    }
+
+    #[test]
+    fn record_display_format() {
+        let r = TraceRecord {
+            time: 42,
+            tag: "inject",
+            message: "pkt 7".into(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("inject"));
+        assert!(s.contains("pkt 7"));
+    }
+}

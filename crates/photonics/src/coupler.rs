@@ -1,0 +1,146 @@
+//! Passive optical couplers (Fig. 2b).
+//!
+//! "The basis of reconfiguration is to combine, at a given coupler,
+//! different wavelengths from similar numbered ports, but from different
+//! transmitters." A coupler is purely passive: it merges whatever its input
+//! ports carry. The model's job is to *verify* the WDM invariant — no two
+//! active inputs at the same wavelength — because a physical coupler would
+//! merge them into garbage.
+
+use crate::wavelength::{BoardId, Wavelength};
+
+/// A passive coupler collecting one same-numbered port from every
+/// transmitter of a board; its output fiber heads to one destination board.
+#[derive(Debug, Clone)]
+pub struct Coupler {
+    /// The destination board this coupler's output fiber reaches.
+    destination: BoardId,
+    /// Wavelengths currently inserted (laser on) at this coupler.
+    active: Vec<Wavelength>,
+}
+
+impl Coupler {
+    /// Creates the coupler feeding `destination`.
+    pub fn new(destination: BoardId) -> Self {
+        Self {
+            destination,
+            active: Vec::new(),
+        }
+    }
+
+    /// The destination board of the output fiber.
+    pub fn destination(&self) -> BoardId {
+        self.destination
+    }
+
+    /// Inserts a wavelength (laser turned on into this coupler).
+    ///
+    /// # Errors
+    /// Returns `Err(CouplerCollision)` if the wavelength is already present —
+    /// a WDM collision that would corrupt both signals.
+    pub fn insert(&mut self, w: Wavelength) -> Result<(), CouplerCollision> {
+        if self.active.contains(&w) {
+            return Err(CouplerCollision {
+                destination: self.destination,
+                wavelength: w,
+            });
+        }
+        self.active.push(w);
+        Ok(())
+    }
+
+    /// Removes a wavelength (laser turned off). Returns whether it was
+    /// present.
+    pub fn remove(&mut self, w: Wavelength) -> bool {
+        if let Some(i) = self.active.iter().position(|&x| x == w) {
+            self.active.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wavelengths currently multiplexed on the output fiber.
+    pub fn multiplexed(&self) -> &[Wavelength] {
+        &self.active
+    }
+
+    /// True if `w` is currently on the output fiber.
+    pub fn carries(&self, w: Wavelength) -> bool {
+        self.active.contains(&w)
+    }
+
+    /// Number of wavelengths multiplexed.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True if the output fiber is dark.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+}
+
+/// A WDM collision: two lasers of the same wavelength into one coupler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CouplerCollision {
+    /// The coupler's destination board.
+    pub destination: BoardId,
+    /// The colliding wavelength.
+    pub wavelength: Wavelength,
+}
+
+impl std::fmt::Display for CouplerCollision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WDM collision: {} inserted twice at coupler toward {}",
+            self.wavelength, self.destination
+        )
+    }
+}
+
+impl std::error::Error for CouplerCollision {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_remove() {
+        let mut c = Coupler::new(BoardId(2));
+        assert!(c.is_empty());
+        c.insert(Wavelength(1)).unwrap();
+        c.insert(Wavelength(3)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.carries(Wavelength(1)));
+        assert!(!c.carries(Wavelength(0)));
+        assert!(c.remove(Wavelength(1)));
+        assert!(!c.remove(Wavelength(1)));
+        assert_eq!(c.multiplexed(), &[Wavelength(3)]);
+        assert_eq!(c.destination(), BoardId(2));
+    }
+
+    #[test]
+    fn duplicate_wavelength_is_a_collision() {
+        let mut c = Coupler::new(BoardId(0));
+        c.insert(Wavelength(2)).unwrap();
+        let err = c.insert(Wavelength(2)).unwrap_err();
+        assert_eq!(err.wavelength, Wavelength(2));
+        assert_eq!(err.destination, BoardId(0));
+        let msg = err.to_string();
+        assert!(msg.contains("λ2"));
+        assert!(msg.contains("B0"));
+        // State unchanged by the failed insert.
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn full_wdm_load() {
+        let mut c = Coupler::new(BoardId(1));
+        for w in 0..8 {
+            c.insert(Wavelength(w)).unwrap();
+        }
+        assert_eq!(c.len(), 8);
+    }
+}

@@ -1,0 +1,255 @@
+//! Device-level models beneath the link power table.
+//!
+//! The paper's power numbers (§4.1) come from device equations in Kibar et
+//! al. (JLT '99) and Chen et al. (HPCA '05). This module implements those
+//! devices explicitly — a VCSEL with an L-I curve, a photodetector with a
+//! responsivity, a transimpedance receiver chain — so the link budget
+//! (emitted power → received photocurrent → required sensitivity) can be
+//! checked, not just asserted. The aggregate per-level numbers used by the
+//! simulation come from [`crate::power`]; these models justify them.
+
+/// A VCSEL with a standard piecewise-linear L-I curve:
+/// `P_opt = η · (I - I_th)` above threshold, 0 below.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vcsel {
+    /// Threshold current, amperes.
+    pub threshold_a: f64,
+    /// Slope efficiency, W/A.
+    pub slope_w_per_a: f64,
+    /// Forward voltage drop, volts.
+    pub forward_v: f64,
+}
+
+impl Vcsel {
+    /// The paper's implant VCSEL: the printed "slope efficiency of
+    /// 0.42 A/W" is dimensionally a W/A slope; threshold and forward drop
+    /// are typical implant-VCSEL values from the cited literature.
+    pub fn paper() -> Self {
+        Self {
+            threshold_a: 2.0e-3,
+            slope_w_per_a: 0.42,
+            forward_v: 1.8,
+        }
+    }
+
+    /// Emitted optical power at drive current `i` (watts).
+    pub fn optical_power_w(&self, i: f64) -> f64 {
+        (i - self.threshold_a).max(0.0) * self.slope_w_per_a
+    }
+
+    /// Electrical power drawn at drive current `i` (watts).
+    pub fn electrical_power_w(&self, i: f64) -> f64 {
+        i * self.forward_v
+    }
+
+    /// Wall-plug efficiency at drive current `i`.
+    pub fn efficiency(&self, i: f64) -> f64 {
+        let e = self.electrical_power_w(i);
+        if e <= 0.0 {
+            0.0
+        } else {
+            self.optical_power_w(i) / e
+        }
+    }
+
+    /// Drive current needed to emit `p_opt` watts.
+    pub fn current_for(&self, p_opt: f64) -> f64 {
+        assert!(p_opt >= 0.0);
+        self.threshold_a + p_opt / self.slope_w_per_a
+    }
+}
+
+/// A p-i-n photodetector characterised by its responsivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Photodetector {
+    /// Responsivity, A/W.
+    pub responsivity_a_per_w: f64,
+    /// Dark current, amperes.
+    pub dark_current_a: f64,
+}
+
+impl Photodetector {
+    /// A typical 850 nm GaAs detector.
+    pub fn typical_850nm() -> Self {
+        Self {
+            responsivity_a_per_w: 0.5,
+            dark_current_a: 1.0e-9,
+        }
+    }
+
+    /// Photocurrent for `p_opt` watts of incident light.
+    pub fn photocurrent_a(&self, p_opt: f64) -> f64 {
+        self.responsivity_a_per_w * p_opt.max(0.0) + self.dark_current_a
+    }
+}
+
+/// The optical path loss budget between one transmitter port and the
+/// destination receiver: coupler insertion, mux/demux, fiber attenuation,
+/// connectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossBudget {
+    /// Passive coupler insertion loss, dB. A 1×N coupler splits power:
+    /// ~10·log10(N) plus excess.
+    pub coupler_db: f64,
+    /// Mux + demux loss, dB.
+    pub mux_demux_db: f64,
+    /// Fiber attenuation, dB (negligible at rack scale).
+    pub fiber_db: f64,
+    /// Connectors and margins, dB.
+    pub margin_db: f64,
+}
+
+impl LossBudget {
+    /// The E-RAPID path for a B-board system: the coupler merges B ports.
+    pub fn erapid(boards: u16) -> Self {
+        Self {
+            coupler_db: 10.0 * (boards as f64).log10() + 1.0,
+            mux_demux_db: 3.0,
+            fiber_db: 0.01,
+            margin_db: 3.0,
+        }
+    }
+
+    /// Total loss in dB.
+    pub fn total_db(&self) -> f64 {
+        self.coupler_db + self.mux_demux_db + self.fiber_db + self.margin_db
+    }
+
+    /// Linear transmission factor (power out / power in).
+    pub fn transmission(&self) -> f64 {
+        10f64.powf(-self.total_db() / 10.0)
+    }
+}
+
+/// Receiver sensitivity model: the minimum received optical power for a
+/// target bit-error rate scales with bit rate (shot/thermal noise grow
+/// with bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceiverSensitivity {
+    /// Required power at the reference rate, watts.
+    pub p_ref_w: f64,
+    /// Reference bit rate, Gbps.
+    pub ref_gbps: f64,
+}
+
+impl ReceiverSensitivity {
+    /// A typical -17 dBm @ 5 Gbps receiver (≈ 20 µW).
+    pub fn typical() -> Self {
+        Self {
+            p_ref_w: 20.0e-6,
+            ref_gbps: 5.0,
+        }
+    }
+
+    /// Required received power at `gbps` (linear scaling with bandwidth —
+    /// the thermal-noise-limited regime).
+    pub fn required_w(&self, gbps: f64) -> f64 {
+        self.p_ref_w * (gbps / self.ref_gbps)
+    }
+}
+
+/// End-to-end link budget check: does the VCSEL at drive current `i`
+/// close the link through `loss` into a receiver of `sensitivity` at
+/// `gbps`? Returns the margin in dB (positive = closes).
+pub fn link_margin_db(
+    vcsel: &Vcsel,
+    i_drive: f64,
+    loss: &LossBudget,
+    sensitivity: &ReceiverSensitivity,
+    gbps: f64,
+) -> f64 {
+    let emitted = vcsel.optical_power_w(i_drive);
+    let received = emitted * loss.transmission();
+    let required = sensitivity.required_w(gbps);
+    10.0 * (received / required).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcsel_li_curve() {
+        let v = Vcsel::paper();
+        assert_eq!(v.optical_power_w(0.0), 0.0);
+        assert_eq!(v.optical_power_w(v.threshold_a), 0.0);
+        // The paper's modulation current: 16.6 mA.
+        let p = v.optical_power_w(16.6e-3);
+        assert!((p - 0.42 * 14.6e-3).abs() < 1e-9);
+        assert!(p > 5.0e-3, "implant VCSEL emits mW-scale power: {p}");
+    }
+
+    #[test]
+    fn vcsel_current_for_inverts_li() {
+        let v = Vcsel::paper();
+        for p in [0.0, 1e-3, 5e-3] {
+            let i = v.current_for(p);
+            assert!((v.optical_power_w(i) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vcsel_efficiency_rises_with_drive() {
+        let v = Vcsel::paper();
+        assert!(v.efficiency(4.0e-3) < v.efficiency(16.0e-3));
+        assert_eq!(v.efficiency(0.0), 0.0);
+        assert!(v.efficiency(16.0e-3) < 0.3, "wall-plug below 30%");
+    }
+
+    #[test]
+    fn photodetector_responsivity() {
+        let pd = Photodetector::typical_850nm();
+        let i = pd.photocurrent_a(10.0e-6);
+        assert!((i - 5.0e-6 - 1.0e-9).abs() < 1e-12);
+        // Dark current floors the response.
+        assert_eq!(pd.photocurrent_a(0.0), 1.0e-9);
+    }
+
+    #[test]
+    fn loss_budget_scales_with_coupler_size() {
+        let small = LossBudget::erapid(4);
+        let large = LossBudget::erapid(8);
+        assert!(large.total_db() > small.total_db());
+        // 8-way coupler: ~10 dB + 1 excess.
+        assert!((large.coupler_db - 10.03).abs() < 0.1);
+        assert!(large.transmission() < small.transmission());
+        assert!(large.transmission() > 0.0);
+    }
+
+    #[test]
+    fn sensitivity_scales_with_rate() {
+        let s = ReceiverSensitivity::typical();
+        assert!((s.required_w(5.0) - 20.0e-6).abs() < 1e-12);
+        assert!((s.required_w(2.5) - 10.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_link_closes_at_all_three_rates() {
+        // The architecture is only viable if the 16.6 mA drive closes an
+        // 8-board coupler path at every operating point.
+        let v = Vcsel::paper();
+        let loss = LossBudget::erapid(8);
+        let s = ReceiverSensitivity::typical();
+        for gbps in [2.5, 3.3, 5.0] {
+            let margin = link_margin_db(&v, 16.6e-3, &loss, &s, gbps);
+            assert!(
+                margin > 0.0,
+                "link must close at {gbps} Gbps (margin {margin:.1} dB)"
+            );
+        }
+        // And lower rates have more margin.
+        let m_low = link_margin_db(&v, 16.6e-3, &loss, &s, 2.5);
+        let m_high = link_margin_db(&v, 16.6e-3, &loss, &s, 5.0);
+        assert!(m_low > m_high);
+    }
+
+    #[test]
+    fn underdriven_link_fails() {
+        let v = Vcsel::paper();
+        let loss = LossBudget::erapid(8);
+        let s = ReceiverSensitivity::typical();
+        // Barely above threshold: not enough light for 5 Gbps.
+        let margin = link_margin_db(&v, 2.5e-3, &loss, &s, 5.0);
+        assert!(margin < 0.0, "margin {margin}");
+    }
+}

@@ -1,0 +1,291 @@
+//! Analytic optical-link power models (§3.1 and Table 1).
+//!
+//! The paper gives the scaling trends of each component with supply voltage
+//! `V_DD` and bit rate `BR`:
+//!
+//! | component     | scaling        | paper constant                     |
+//! |---------------|----------------|------------------------------------|
+//! | VCSEL         | `V_DD`         | slope efficiency 0.42 A/W, I_m = 16.6 mA |
+//! | VCSEL driver  | `V_DD²·BR`     | C_driver = 0.62 pF                 |
+//! | TIA           | `V_DD·BR`      | I_ds = 27.8 mA at 5 Gbps           |
+//! | CDR           | `V_DD²·BR`     | C_CDR = 9.26 pF                    |
+//! | photodetector | (negligible)   | 1.4 µW                             |
+//!
+//! With a switching activity of 0.5 for the CMOS-like driver/CDR terms the
+//! model lands on the paper's quoted component numbers at 5 Gbps / 0.9 V:
+//! driver 1.23 mW (paper: 1.23), TIA 25.02 mW (paper: 25.02) and CDR
+//! 17.05 mW (paper: 17.05, after calibrating the CDR activity to 0.455),
+//! totalling ≈ 43.3 mW against the paper's rounded 43.03 mW.
+//!
+//! At the two lower operating points the analytic model yields 8.54 mW
+//! (paper: 8.6) and 16.4 mW (paper: 26). The paper's 26 mW mid-level total
+//! is *not* reproducible from its own scaling laws and constants; we expose
+//! both the analytic model and a [`LinkPowerModel::paper_table`] preset that
+//! pins the paper's three published totals, and the simulation uses the
+//! paper preset so power ratios match the published figures.
+
+use crate::bitrate::{BitRate, RateLadder, RateLevel};
+
+/// Paper constants (Table 1 / §4.1).
+pub mod constants {
+    /// VCSEL driver capacitance, farads (0.62 pF).
+    pub const C_DRIVER_F: f64 = 0.62e-12;
+    /// CDR capacitance, farads (9.26 pF).
+    pub const C_CDR_F: f64 = 9.26e-12;
+    /// TIA drain-source current at 5 Gbps, amperes (27.8 mA).
+    pub const I_DS_5G_A: f64 = 27.8e-3;
+    /// VCSEL modulation current, amperes (16.6 mA).
+    pub const I_MOD_A: f64 = 16.6e-3;
+    /// VCSEL slope efficiency as printed in the paper (A/W).
+    pub const SLOPE_EFFICIENCY: f64 = 0.42;
+    /// Photodetector power, watts (1.4 µW).
+    pub const P_PHOTODETECTOR_W: f64 = 1.4e-6;
+    /// Average VCSEL power while transmitting 64-byte packets (1.5 µW).
+    pub const P_VCSEL_AVG_W: f64 = 1.5e-6;
+    /// Switching activity of the driver stage.
+    pub const ALPHA_DRIVER: f64 = 0.5;
+    /// Switching activity of the CDR, calibrated so the 5 Gbps CDR power
+    /// equals the paper's 17.05 mW.
+    pub const ALPHA_CDR: f64 = 0.4546;
+    /// Reference bit rate for the TIA current constant (5 Gbps).
+    pub const BR_REF_GBPS: f64 = 5.0;
+    /// Reference voltage for the TIA current constant (0.9 V).
+    pub const VDD_REF: f64 = 0.9;
+}
+
+/// Per-component power at one operating point, in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// VCSEL laser (average while transmitting).
+    pub vcsel_mw: f64,
+    /// VCSEL driver / modulator.
+    pub driver_mw: f64,
+    /// Transimpedance amplifier.
+    pub tia_mw: f64,
+    /// Clock-and-data recovery.
+    pub cdr_mw: f64,
+    /// Photodetector.
+    pub photodetector_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total link power in mW.
+    pub fn total_mw(&self) -> f64 {
+        self.vcsel_mw + self.driver_mw + self.tia_mw + self.cdr_mw + self.photodetector_mw
+    }
+
+    /// Transmit-side power (VCSEL + driver).
+    pub fn transmitter_mw(&self) -> f64 {
+        self.vcsel_mw + self.driver_mw
+    }
+
+    /// Receive-side power (photodetector + TIA + CDR).
+    pub fn receiver_mw(&self) -> f64 {
+        self.photodetector_mw + self.tia_mw + self.cdr_mw
+    }
+}
+
+/// Computes the analytic per-component breakdown at an operating point.
+pub fn analytic_breakdown(rate: BitRate) -> PowerBreakdown {
+    use constants::*;
+    let br = rate.gbps * 1.0e9;
+    let v = rate.vdd;
+    // CMOS dynamic power α·C·V²·f, in watts → mW.
+    let driver = ALPHA_DRIVER * C_DRIVER_F * v * v * br * 1.0e3;
+    let cdr = ALPHA_CDR * C_CDR_F * v * v * br * 1.0e3;
+    // TIA bias current scales linearly with bit rate; P = I·V.
+    let i_ds = I_DS_5G_A * (rate.gbps / BR_REF_GBPS);
+    let tia = i_ds * v * 1.0e3;
+    // VCSEL and photodetector average powers scale with V_DD relative to
+    // the reference point; both are micro-watt noise in the total.
+    let vcsel = P_VCSEL_AVG_W * (v / VDD_REF) * 1.0e3;
+    let pd = P_PHOTODETECTOR_W * 1.0e3;
+    PowerBreakdown {
+        vcsel_mw: vcsel,
+        driver_mw: driver,
+        tia_mw: tia,
+        cdr_mw: cdr,
+        photodetector_mw: pd,
+    }
+}
+
+/// Where per-level total power numbers come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PowerSource {
+    /// Totals computed from the analytic component models.
+    Analytic,
+    /// Totals pinned to the paper's published Table 1 values.
+    PaperTable,
+}
+
+/// Total link power per rate level, plus the idle (laser-on, no data)
+/// fraction used by the simulation's power accounting.
+#[derive(Debug, Clone)]
+pub struct LinkPowerModel {
+    ladder: RateLadder,
+    totals_mw: Vec<f64>,
+    /// Fraction of the level's power drawn while the laser is on but no flit
+    /// is being transmitted (laser bias + receiver keep-alive).
+    idle_fraction: f64,
+    source: PowerSource,
+}
+
+impl LinkPowerModel {
+    /// The paper's published totals: 8.6 / 26 / 43.03 mW on the paper ladder.
+    pub fn paper_table() -> Self {
+        Self {
+            ladder: RateLadder::paper(),
+            totals_mw: vec![8.6, 26.0, 43.03],
+            idle_fraction: DEFAULT_IDLE_FRACTION,
+            source: PowerSource::PaperTable,
+        }
+    }
+
+    /// Analytic totals derived from the component models, for any ladder.
+    pub fn analytic(ladder: RateLadder) -> Self {
+        let totals = ladder
+            .iter()
+            .map(|(_, rate)| analytic_breakdown(rate).total_mw())
+            .collect();
+        Self {
+            ladder,
+            totals_mw: totals,
+            idle_fraction: DEFAULT_IDLE_FRACTION,
+            source: PowerSource::Analytic,
+        }
+    }
+
+    /// Overrides the idle (laser-on, not transmitting) power fraction.
+    pub fn with_idle_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.idle_fraction = f;
+        self
+    }
+
+    /// The rate ladder this model covers.
+    pub fn ladder(&self) -> &RateLadder {
+        &self.ladder
+    }
+
+    /// Which totals are in use.
+    pub fn source(&self) -> PowerSource {
+        self.source
+    }
+
+    /// Total power at `level` while actively transmitting, mW.
+    pub fn active_mw(&self, level: RateLevel) -> f64 {
+        self.totals_mw[level.index()]
+    }
+
+    /// Power at `level` while on but idle, mW.
+    pub fn idle_mw(&self, level: RateLevel) -> f64 {
+        self.totals_mw[level.index()] * self.idle_fraction
+    }
+
+    /// Idle fraction in use.
+    pub fn idle_fraction(&self) -> f64 {
+        self.idle_fraction
+    }
+
+    /// Energy per bit at `level`, picojoules.
+    pub fn energy_per_bit_pj(&self, level: RateLevel) -> f64 {
+        let rate = self.ladder.rate(level);
+        // mW / Gbps = pJ/bit.
+        self.active_mw(level) / rate.gbps
+    }
+}
+
+/// Default idle fraction: a small laser-bias + receiver keep-alive draw.
+///
+/// The paper's complement-traffic result (NP-NB and P-NB consume the *same*
+/// power while 6 of 7 links sit idle) only holds if idle links are nearly
+/// free, i.e. power accounting is dominated by activity.
+pub const DEFAULT_IDLE_FRACTION: f64 = 0.05;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitrate::RateLadder;
+
+    #[test]
+    fn analytic_components_match_paper_at_5gbps() {
+        let high = RateLadder::paper().rate(RateLevel(2));
+        let b = analytic_breakdown(high);
+        // Paper §4.1: driver 1.23 mW, TIA 25.02 mW, CDR 17.05 mW.
+        assert!((b.driver_mw - 1.23).abs() < 0.05, "driver {}", b.driver_mw);
+        assert!((b.tia_mw - 25.02).abs() < 0.01, "tia {}", b.tia_mw);
+        assert!((b.cdr_mw - 17.05).abs() < 0.05, "cdr {}", b.cdr_mw);
+        // Photodetector 1.4 µW, VCSEL ~1.5 µW.
+        assert!((b.photodetector_mw - 0.0014).abs() < 1e-6);
+        assert!((b.vcsel_mw - 0.0015).abs() < 1e-4);
+        // Total ≈ 43.3 mW (paper rounds to 43.03).
+        assert!((b.total_mw() - 43.3).abs() < 0.2, "total {}", b.total_mw());
+    }
+
+    #[test]
+    fn analytic_low_level_close_to_paper() {
+        let low = RateLadder::paper().rate(RateLevel(0));
+        let b = analytic_breakdown(low);
+        // Paper: 8.6 mW at 2.5 Gbps / 0.45 V; analytic lands at 8.54.
+        assert!((b.total_mw() - 8.6).abs() < 0.15, "total {}", b.total_mw());
+    }
+
+    #[test]
+    fn split_matches_total() {
+        let b = analytic_breakdown(RateLadder::paper().rate(RateLevel(1)));
+        assert!(
+            (b.transmitter_mw() + b.receiver_mw() - b.total_mw()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn paper_table_pins_published_totals() {
+        let m = LinkPowerModel::paper_table();
+        assert_eq!(m.source(), PowerSource::PaperTable);
+        assert_eq!(m.active_mw(RateLevel(0)), 8.6);
+        assert_eq!(m.active_mw(RateLevel(1)), 26.0);
+        assert_eq!(m.active_mw(RateLevel(2)), 43.03);
+    }
+
+    #[test]
+    fn idle_power_is_fraction_of_active() {
+        let m = LinkPowerModel::paper_table().with_idle_fraction(0.1);
+        assert!((m.idle_mw(RateLevel(2)) - 4.303).abs() < 1e-9);
+        assert_eq!(m.idle_fraction(), 0.1);
+    }
+
+    #[test]
+    fn energy_per_bit_improves_at_lower_rates() {
+        // The entire point of DPM: scaling the rate down reduces energy/bit.
+        let m = LinkPowerModel::paper_table();
+        let low = m.energy_per_bit_pj(RateLevel(0));
+        let mid = m.energy_per_bit_pj(RateLevel(1));
+        let high = m.energy_per_bit_pj(RateLevel(2));
+        assert!(low < mid && mid < high, "{low} {mid} {high}");
+        // 8.6/2.5 = 3.44 pJ/bit, 43.03/5 = 8.606 pJ/bit.
+        assert!((low - 3.44).abs() < 0.01);
+        assert!((high - 8.606).abs() < 0.01);
+    }
+
+    #[test]
+    fn analytic_model_is_monotone_in_level() {
+        let m = LinkPowerModel::analytic(RateLadder::paper());
+        assert!(m.active_mw(RateLevel(0)) < m.active_mw(RateLevel(1)));
+        assert!(m.active_mw(RateLevel(1)) < m.active_mw(RateLevel(2)));
+        assert_eq!(m.source(), PowerSource::Analytic);
+    }
+
+    #[test]
+    fn analytic_model_works_on_interpolated_ladders() {
+        let m = LinkPowerModel::analytic(RateLadder::interpolated(6));
+        for i in 0..5u8 {
+            assert!(m.active_mw(RateLevel(i)) < m.active_mw(RateLevel(i + 1)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn idle_fraction_out_of_range_panics() {
+        LinkPowerModel::paper_table().with_idle_fraction(1.5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Optical receivers with CDR re-lock behaviour.
+//!
+//! Each board has one receiver per wavelength ("the multiplexed signal
+//! received at the board is demultiplexed such that every optical receiver
+//! detects a wavelength", §2.1). The receiver's CDR is locked to a bit
+//! rate; when the transmitter scales its rate it sends a bit-rate control
+//! packet and the receiver re-locks, during which the link is unusable
+//! (§3.1: the link is conservatively disabled for 65 cycles, the slow
+//! voltage-transition bound from Chen et al.).
+
+use crate::bitrate::RateLevel;
+use crate::wavelength::Wavelength;
+use desim::Cycle;
+
+/// Receiver state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiverState {
+    /// Powered down (laser on the other end is off).
+    Off,
+    /// Locked to the current bit rate and able to receive.
+    Locked,
+    /// Re-locking after a bit-rate change; usable again at the stored cycle.
+    Relocking {
+        /// First cycle at which the receiver is locked again.
+        until: Cycle,
+    },
+}
+
+/// One wavelength's receiver on a board.
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    wavelength: Wavelength,
+    state: ReceiverState,
+    level: RateLevel,
+    relocks: u64,
+}
+
+impl Receiver {
+    /// Creates a powered-down receiver for `wavelength` at the given
+    /// initial rate level.
+    pub fn new(wavelength: Wavelength, level: RateLevel) -> Self {
+        Self {
+            wavelength,
+            state: ReceiverState::Off,
+            level,
+            relocks: 0,
+        }
+    }
+
+    /// The wavelength this receiver detects.
+    pub fn wavelength(&self) -> Wavelength {
+        self.wavelength
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ReceiverState {
+        self.state
+    }
+
+    /// Current rate level the CDR is (re-)locking to.
+    pub fn level(&self) -> RateLevel {
+        self.level
+    }
+
+    /// Number of re-lock events so far.
+    pub fn relock_count(&self) -> u64 {
+        self.relocks
+    }
+
+    /// Powers the receiver on (locked immediately at its current level —
+    /// power-up lock time is folded into the transition penalty charged at
+    /// the transmitter side).
+    pub fn power_on(&mut self) {
+        if self.state == ReceiverState::Off {
+            self.state = ReceiverState::Locked;
+        }
+    }
+
+    /// Powers the receiver off.
+    pub fn power_off(&mut self) {
+        self.state = ReceiverState::Off;
+    }
+
+    /// Handles a bit-rate control packet: begin re-locking to `level`,
+    /// unusable until `now + relock_cycles`.
+    pub fn retune(&mut self, now: Cycle, level: RateLevel, relock_cycles: Cycle) {
+        if self.state == ReceiverState::Off {
+            // A control packet on a dark wavelength is a protocol error in
+            // the model; tolerate it by just recording the level.
+            self.level = level;
+            return;
+        }
+        self.level = level;
+        self.relocks += 1;
+        self.state = ReceiverState::Relocking {
+            until: now + relock_cycles,
+        };
+    }
+
+    /// Advances time: resolves re-lock completion.
+    pub fn tick(&mut self, now: Cycle) {
+        if let ReceiverState::Relocking { until } = self.state {
+            if now >= until {
+                self.state = ReceiverState::Locked;
+            }
+        }
+    }
+
+    /// True when a data flit can be accepted this cycle.
+    pub fn can_receive(&self, now: Cycle) -> bool {
+        match self.state {
+            ReceiverState::Locked => true,
+            ReceiverState::Relocking { until } => now >= until,
+            ReceiverState::Off => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_off_and_powers_on() {
+        let mut r = Receiver::new(Wavelength(1), RateLevel(2));
+        assert_eq!(r.state(), ReceiverState::Off);
+        assert!(!r.can_receive(0));
+        r.power_on();
+        assert_eq!(r.state(), ReceiverState::Locked);
+        assert!(r.can_receive(0));
+        assert_eq!(r.wavelength(), Wavelength(1));
+    }
+
+    #[test]
+    fn retune_blocks_until_relock() {
+        let mut r = Receiver::new(Wavelength(0), RateLevel(2));
+        r.power_on();
+        r.retune(100, RateLevel(1), 65);
+        assert_eq!(r.level(), RateLevel(1));
+        assert!(!r.can_receive(100));
+        assert!(!r.can_receive(164));
+        assert!(r.can_receive(165));
+        r.tick(165);
+        assert_eq!(r.state(), ReceiverState::Locked);
+        assert_eq!(r.relock_count(), 1);
+    }
+
+    #[test]
+    fn retune_while_off_records_level_only() {
+        let mut r = Receiver::new(Wavelength(0), RateLevel(2));
+        r.retune(0, RateLevel(0), 65);
+        assert_eq!(r.state(), ReceiverState::Off);
+        assert_eq!(r.level(), RateLevel(0));
+        assert_eq!(r.relock_count(), 0);
+    }
+
+    #[test]
+    fn power_off_from_any_state() {
+        let mut r = Receiver::new(Wavelength(0), RateLevel(2));
+        r.power_on();
+        r.retune(0, RateLevel(1), 10);
+        r.power_off();
+        assert_eq!(r.state(), ReceiverState::Off);
+        assert!(!r.can_receive(100));
+    }
+
+    #[test]
+    fn tick_before_deadline_keeps_relocking() {
+        let mut r = Receiver::new(Wavelength(0), RateLevel(2));
+        r.power_on();
+        r.retune(0, RateLevel(1), 10);
+        r.tick(5);
+        assert!(matches!(r.state(), ReceiverState::Relocking { until: 10 }));
+    }
+}

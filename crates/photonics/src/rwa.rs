@@ -1,0 +1,160 @@
+//! Static routing and wavelength assignment (RWA), §2.1 of the paper.
+//!
+//! "The wavelength assigned for a given source board `s` and destination
+//! board `d` is given by `λ_{B-(d-s)}` if `d > s` and `λ_{(s-d)}` if
+//! `s > d`, where B is the total number of boards in the system."
+//!
+//! (The paper prints the second case as `λ_{(d-s)}`, but its own example —
+//! board 1 → board 0 uses `λ_1`, i.e. `s-d = 1` — shows the intended index
+//! is the positive offset `s-d`. Both cases reduce to
+//! `λ_{(s-d) mod B}` = `λ_{B-((d-s) mod B)} mod B`.)
+
+use crate::wavelength::{BoardId, Wavelength};
+
+/// The static wavelength map for a `B`-board system.
+#[derive(Debug, Clone)]
+pub struct StaticRwa {
+    boards: u16,
+}
+
+impl StaticRwa {
+    /// Creates the static RWA for `boards` boards.
+    pub fn new(boards: u16) -> Self {
+        assert!(boards >= 2);
+        Self { boards }
+    }
+
+    /// Board count `B`.
+    pub fn boards(&self) -> u16 {
+        self.boards
+    }
+
+    /// The statically assigned wavelength for source board `s` → destination
+    /// board `d`.
+    ///
+    /// # Panics
+    /// If `s == d` (intra-board traffic never enters the optical domain) or
+    /// either index is out of range.
+    pub fn wavelength(&self, s: BoardId, d: BoardId) -> Wavelength {
+        assert!(s.0 < self.boards && d.0 < self.boards, "board out of range");
+        assert_ne!(s, d, "intra-board traffic has no wavelength");
+        let b = self.boards as i32;
+        let diff = (s.0 as i32 - d.0 as i32).rem_euclid(b);
+        Wavelength(diff as u16)
+    }
+
+    /// Inverse map at a destination board: which source board owns
+    /// wavelength `w` toward destination `d` under static assignment.
+    ///
+    /// # Panics
+    /// If `w` is `λ_0` (self-offset, unassigned) or out of range.
+    pub fn static_owner(&self, d: BoardId, w: Wavelength) -> BoardId {
+        assert!(w.0 > 0 && w.0 < self.boards, "λ0/out-of-range has no owner");
+        let b = self.boards as i32;
+        let s = (d.0 as i32 + w.0 as i32).rem_euclid(b);
+        BoardId(s as u16)
+    }
+
+    /// Every (source, wavelength) pair arriving at destination `d` under
+    /// static assignment — one per remote board.
+    pub fn incoming(&self, d: BoardId) -> Vec<(BoardId, Wavelength)> {
+        (1..self.boards)
+            .map(|i| {
+                let w = Wavelength(i);
+                (self.static_owner(d, w), w)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_hold() {
+        // §2.1: board 1 → board 0 uses λ1; board 0 → board 1 uses λ3 (B=4).
+        let rwa = StaticRwa::new(4);
+        assert_eq!(rwa.wavelength(BoardId(1), BoardId(0)), Wavelength(1));
+        assert_eq!(rwa.wavelength(BoardId(0), BoardId(1)), Wavelength(3));
+        // §2.2: board 0 → board 2 uses λ2 (B=4).
+        assert_eq!(rwa.wavelength(BoardId(0), BoardId(2)), Wavelength(2));
+        // §4.2 (64-node, B=8): board 0 → board 7 uses λ_{8-7} = λ1.
+        let rwa8 = StaticRwa::new(8);
+        assert_eq!(rwa8.wavelength(BoardId(0), BoardId(7)), Wavelength(1));
+    }
+
+    #[test]
+    fn wavelengths_at_a_destination_are_distinct() {
+        // At any destination, the B-1 incoming static assignments must use
+        // B-1 distinct wavelengths — that is what makes the demux work.
+        for b in [2u16, 4, 8, 16] {
+            let rwa = StaticRwa::new(b);
+            for d in 0..b {
+                let mut seen = vec![false; b as usize];
+                for s in 0..b {
+                    if s == d {
+                        continue;
+                    }
+                    let w = rwa.wavelength(BoardId(s), BoardId(d));
+                    assert!(w.0 > 0, "remote traffic never uses λ0");
+                    assert!(!seen[w.index()], "collision at destination {d}");
+                    seen[w.index()] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavelengths_from_a_source_are_distinct() {
+        // Dually, each source uses distinct wavelengths to distinct
+        // destinations (one laser array per transmitter).
+        let rwa = StaticRwa::new(8);
+        for s in 0..8 {
+            let mut seen = [false; 8];
+            for d in 0..8 {
+                if s == d {
+                    continue;
+                }
+                let w = rwa.wavelength(BoardId(s), BoardId(d));
+                assert!(!seen[w.index()], "collision at source {s}");
+                seen[w.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn owner_is_inverse_of_assignment() {
+        let rwa = StaticRwa::new(8);
+        for s in 0..8u16 {
+            for d in 0..8u16 {
+                if s == d {
+                    continue;
+                }
+                let w = rwa.wavelength(BoardId(s), BoardId(d));
+                assert_eq!(rwa.static_owner(BoardId(d), w), BoardId(s));
+            }
+        }
+    }
+
+    #[test]
+    fn incoming_lists_all_remote_boards() {
+        let rwa = StaticRwa::new(4);
+        let mut incoming = rwa.incoming(BoardId(2));
+        incoming.sort();
+        let sources: Vec<u16> = incoming.iter().map(|(s, _)| s.0).collect();
+        assert_eq!(sources, vec![0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-board")]
+    fn same_board_panics() {
+        StaticRwa::new(4).wavelength(BoardId(1), BoardId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no owner")]
+    fn lambda_zero_has_no_owner() {
+        StaticRwa::new(4).static_owner(BoardId(0), Wavelength(0));
+    }
+}

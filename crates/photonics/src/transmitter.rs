@@ -1,0 +1,202 @@
+//! The multi-port optical transmitter of Fig. 2(b).
+//!
+//! Each board hosts `W` transmitters; transmitter `x` contains an array of
+//! lasers all emitting wavelength `λ_x`, one laser per *output port*, and
+//! there is one output port per destination board. Reconfiguration is the
+//! act of turning individual lasers on/off: "Each transmitter associated
+//! with every wavelength ... has a on/off value. This binary value indicates
+//! which lasers within a transmitter are either on (1) or off (0)" (§3.2).
+
+use crate::wavelength::{BoardId, Wavelength};
+
+/// One transmitter: a laser array for a single wavelength with one port per
+/// destination board.
+#[derive(Debug, Clone)]
+pub struct Transmitter {
+    wavelength: Wavelength,
+    /// `lasers[d]` — laser driving output port `d` (toward board `d`).
+    lasers: Vec<bool>,
+}
+
+impl Transmitter {
+    /// Creates a transmitter for `wavelength` with `ports` output ports,
+    /// all lasers off.
+    pub fn new(wavelength: Wavelength, ports: usize) -> Self {
+        assert!(ports >= 2);
+        Self {
+            wavelength,
+            lasers: vec![false; ports],
+        }
+    }
+
+    /// The wavelength all lasers in this transmitter emit.
+    pub fn wavelength(&self) -> Wavelength {
+        self.wavelength
+    }
+
+    /// Number of output ports (= destination boards).
+    pub fn ports(&self) -> usize {
+        self.lasers.len()
+    }
+
+    /// Whether the laser driving port `d` is on.
+    pub fn is_on(&self, d: BoardId) -> bool {
+        self.lasers[d.index()]
+    }
+
+    /// Turns the laser toward board `d` on or off. Returns the prior state.
+    pub fn set(&mut self, d: BoardId, on: bool) -> bool {
+        std::mem::replace(&mut self.lasers[d.index()], on)
+    }
+
+    /// Number of lasers currently on.
+    pub fn active_lasers(&self) -> usize {
+        self.lasers.iter().filter(|&&on| on).count()
+    }
+
+    /// Destinations with an active laser.
+    pub fn active_ports(&self) -> impl Iterator<Item = BoardId> + '_ {
+        self.lasers
+            .iter()
+            .enumerate()
+            .filter(|(_, &on)| on)
+            .map(|(i, _)| BoardId(i as u16))
+    }
+}
+
+/// The full transmitter bank of one board: `W` transmitters × `B` ports.
+#[derive(Debug, Clone)]
+pub struct TransmitterBank {
+    board: BoardId,
+    transmitters: Vec<Transmitter>,
+}
+
+impl TransmitterBank {
+    /// Creates the bank for `board` in a `boards`-board system
+    /// (`W = boards` transmitters, each with `boards` ports), all off.
+    pub fn new(board: BoardId, boards: u16) -> Self {
+        Self {
+            board,
+            transmitters: (0..boards)
+                .map(|w| Transmitter::new(Wavelength(w), boards as usize))
+                .collect(),
+        }
+    }
+
+    /// The board this bank belongs to.
+    pub fn board(&self) -> BoardId {
+        self.board
+    }
+
+    /// Number of transmitters (`W`).
+    pub fn len(&self) -> usize {
+        self.transmitters.len()
+    }
+
+    /// Never true for a constructed bank.
+    pub fn is_empty(&self) -> bool {
+        self.transmitters.is_empty()
+    }
+
+    /// The transmitter for wavelength `w`.
+    pub fn transmitter(&self, w: Wavelength) -> &Transmitter {
+        &self.transmitters[w.index()]
+    }
+
+    /// Mutable access to the transmitter for wavelength `w`.
+    pub fn transmitter_mut(&mut self, w: Wavelength) -> &mut Transmitter {
+        &mut self.transmitters[w.index()]
+    }
+
+    /// Applies the static RWA: for every remote destination `d`, turn on
+    /// exactly the laser `(λ = rwa(s,d), port = d)`; everything else off.
+    pub fn apply_static_rwa(&mut self, rwa: &crate::rwa::StaticRwa) {
+        for t in &mut self.transmitters {
+            for p in 0..t.ports() {
+                t.set(BoardId(p as u16), false);
+            }
+        }
+        for d in 0..rwa.boards() {
+            let d = BoardId(d);
+            if d == self.board {
+                continue;
+            }
+            let w = rwa.wavelength(self.board, d);
+            self.transmitter_mut(w).set(d, true);
+        }
+    }
+
+    /// Total lasers on across the bank.
+    pub fn active_lasers(&self) -> usize {
+        self.transmitters.iter().map(|t| t.active_lasers()).sum()
+    }
+
+    /// All `(wavelength, destination)` pairs with an active laser.
+    pub fn active_channels(&self) -> Vec<(Wavelength, BoardId)> {
+        let mut v = Vec::new();
+        for t in &self.transmitters {
+            for d in t.active_ports() {
+                v.push((t.wavelength(), d));
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rwa::StaticRwa;
+
+    #[test]
+    fn lasers_toggle() {
+        let mut t = Transmitter::new(Wavelength(2), 4);
+        assert_eq!(t.wavelength(), Wavelength(2));
+        assert_eq!(t.ports(), 4);
+        assert!(!t.is_on(BoardId(1)));
+        assert!(!t.set(BoardId(1), true));
+        assert!(t.is_on(BoardId(1)));
+        assert_eq!(t.active_lasers(), 1);
+        assert!(t.set(BoardId(1), false));
+        assert_eq!(t.active_lasers(), 0);
+    }
+
+    #[test]
+    fn static_rwa_lights_one_laser_per_destination() {
+        let rwa = StaticRwa::new(4);
+        let mut bank = TransmitterBank::new(BoardId(0), 4);
+        bank.apply_static_rwa(&rwa);
+        // B-1 = 3 lasers on, one per remote board.
+        assert_eq!(bank.active_lasers(), 3);
+        let mut chans = bank.active_channels();
+        chans.sort_by_key(|(w, d)| (d.0, w.0));
+        // Destinations 1, 2, 3 each served exactly once.
+        let dests: Vec<u16> = chans.iter().map(|(_, d)| d.0).collect();
+        assert_eq!(dests, vec![1, 2, 3]);
+        // And with the RWA wavelengths: s=0→d uses λ_{(0-d) mod 4}.
+        assert_eq!(chans[0].0, Wavelength(3)); // d=1
+        assert_eq!(chans[1].0, Wavelength(2)); // d=2
+        assert_eq!(chans[2].0, Wavelength(1)); // d=3
+    }
+
+    #[test]
+    fn reapplying_static_rwa_resets_extra_lasers() {
+        let rwa = StaticRwa::new(4);
+        let mut bank = TransmitterBank::new(BoardId(1), 4);
+        bank.apply_static_rwa(&rwa);
+        // DBR-style extra laser: λ2 toward board 0.
+        bank.transmitter_mut(Wavelength(2)).set(BoardId(0), true);
+        assert_eq!(bank.active_lasers(), 4);
+        bank.apply_static_rwa(&rwa);
+        assert_eq!(bank.active_lasers(), 3);
+    }
+
+    #[test]
+    fn bank_geometry() {
+        let bank = TransmitterBank::new(BoardId(2), 8);
+        assert_eq!(bank.len(), 8);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.board(), BoardId(2));
+        assert_eq!(bank.transmitter(Wavelength(5)).ports(), 8);
+    }
+}

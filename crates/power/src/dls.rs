@@ -1,0 +1,134 @@
+//! Dynamic Link Shutdown (DLS) with hysteresis.
+//!
+//! DLS (Kim et al., ISLPED'03, cited as \[14\]) "turns down the link if it is
+//! not heavily used and turns up the link when needed". In E-RAPID the DBR
+//! stage is what normally turns off idle lasers; this module provides the
+//! standalone DLS policy used by the ablation benches and by the DBR stage's
+//! shutdown criterion: a link whose utilization stayed below a threshold for
+//! `off_after` consecutive windows is shut down, and is woken as soon as
+//! demand (buffer occupancy) reappears.
+
+/// Shutdown/wake decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DlsDecision {
+    /// Keep the link as it is.
+    Keep,
+    /// Shut the link down.
+    Shutdown,
+    /// Wake the link up.
+    Wake,
+}
+
+/// Per-link DLS state machine with consecutive-window hysteresis.
+#[derive(Debug, Clone)]
+pub struct DlsPolicy {
+    /// Utilization below which a window counts as idle.
+    idle_threshold: f64,
+    /// Consecutive idle windows before shutdown.
+    off_after: u32,
+    idle_windows: u32,
+    is_off: bool,
+}
+
+impl DlsPolicy {
+    /// Creates a policy: shut down after `off_after` consecutive windows
+    /// with utilization below `idle_threshold`.
+    pub fn new(idle_threshold: f64, off_after: u32) -> Self {
+        assert!((0.0..=1.0).contains(&idle_threshold));
+        assert!(off_after >= 1);
+        Self {
+            idle_threshold,
+            off_after,
+            idle_windows: 0,
+            is_off: false,
+        }
+    }
+
+    /// Default: shut down after 2 completely idle windows.
+    pub fn standard() -> Self {
+        Self::new(1.0e-6, 2)
+    }
+
+    /// Whether the policy currently holds the link off.
+    pub fn is_off(&self) -> bool {
+        self.is_off
+    }
+
+    /// Consecutive idle windows observed so far.
+    pub fn idle_windows(&self) -> u32 {
+        self.idle_windows
+    }
+
+    /// Feeds one window's statistics; returns the decision.
+    ///
+    /// `buffer_util > 0` while off signals queued demand and wakes the link.
+    pub fn observe(&mut self, link_util: f64, buffer_util: f64) -> DlsDecision {
+        if self.is_off {
+            if buffer_util > 0.0 {
+                self.is_off = false;
+                self.idle_windows = 0;
+                return DlsDecision::Wake;
+            }
+            return DlsDecision::Keep;
+        }
+        if link_util < self.idle_threshold && buffer_util <= 0.0 {
+            self.idle_windows += 1;
+            if self.idle_windows >= self.off_after {
+                self.is_off = true;
+                return DlsDecision::Shutdown;
+            }
+        } else {
+            self.idle_windows = 0;
+        }
+        DlsDecision::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuts_down_after_consecutive_idle_windows() {
+        let mut d = DlsPolicy::standard();
+        assert_eq!(d.observe(0.0, 0.0), DlsDecision::Keep);
+        assert_eq!(d.idle_windows(), 1);
+        assert_eq!(d.observe(0.0, 0.0), DlsDecision::Shutdown);
+        assert!(d.is_off());
+    }
+
+    #[test]
+    fn activity_resets_the_counter() {
+        let mut d = DlsPolicy::standard();
+        d.observe(0.0, 0.0);
+        assert_eq!(d.observe(0.5, 0.0), DlsDecision::Keep);
+        assert_eq!(d.idle_windows(), 0);
+        d.observe(0.0, 0.0);
+        assert_eq!(d.observe(0.0, 0.0), DlsDecision::Shutdown);
+    }
+
+    #[test]
+    fn wakes_on_demand() {
+        let mut d = DlsPolicy::standard();
+        d.observe(0.0, 0.0);
+        d.observe(0.0, 0.0);
+        assert!(d.is_off());
+        assert_eq!(d.observe(0.0, 0.0), DlsDecision::Keep);
+        assert_eq!(d.observe(0.0, 0.2), DlsDecision::Wake);
+        assert!(!d.is_off());
+    }
+
+    #[test]
+    fn queued_demand_prevents_shutdown() {
+        let mut d = DlsPolicy::standard();
+        // Link idle but buffers non-empty (e.g. blocked upstream): keep.
+        assert_eq!(d.observe(0.0, 0.4), DlsDecision::Keep);
+        assert_eq!(d.idle_windows(), 0);
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let mut d = DlsPolicy::new(0.1, 1);
+        assert_eq!(d.observe(0.05, 0.0), DlsDecision::Shutdown);
+    }
+}

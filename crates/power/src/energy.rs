@@ -1,0 +1,158 @@
+//! Per-link energy accounting.
+//!
+//! Every cycle a link is in exactly one of three conditions; the accountant
+//! charges:
+//!
+//! * **active** (a flit on the wire) — the full level power `P(level)`,
+//! * **idle-on** (laser on, nothing to send) — `P(level) × idle_fraction`,
+//! * **off** — nothing.
+//!
+//! Transition (dark) cycles are charged as idle-on at the *target* level:
+//! the circuitry is powered and ramping but not moving data.
+
+use netstats::meter::PowerMeter;
+use photonics::bitrate::RateLevel;
+use photonics::power::LinkPowerModel;
+
+/// The condition of a link during one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkCondition {
+    /// A flit occupied the wavelength this cycle.
+    Active,
+    /// Laser on, no data (includes transition dark time).
+    IdleOn,
+    /// Laser off.
+    Off,
+}
+
+/// Integrates one link's power over time.
+#[derive(Debug, Clone)]
+pub struct EnergyAccountant {
+    model: LinkPowerModel,
+    meter: PowerMeter,
+    active_cycles: u64,
+    idle_cycles: u64,
+    off_cycles: u64,
+}
+
+impl EnergyAccountant {
+    /// Creates an accountant over the given power model.
+    pub fn new(model: LinkPowerModel) -> Self {
+        Self {
+            model,
+            meter: PowerMeter::new(),
+            active_cycles: 0,
+            idle_cycles: 0,
+            off_cycles: 0,
+        }
+    }
+
+    /// The power model in use.
+    pub fn model(&self) -> &LinkPowerModel {
+        &self.model
+    }
+
+    /// Instantaneous power for a condition at a level, mW.
+    pub fn instantaneous_mw(&self, condition: LinkCondition, level: RateLevel) -> f64 {
+        match condition {
+            LinkCondition::Active => self.model.active_mw(level),
+            LinkCondition::IdleOn => self.model.idle_mw(level),
+            LinkCondition::Off => 0.0,
+        }
+    }
+
+    /// Records one cycle in the given condition at the given level and
+    /// returns the power charged (mW).
+    pub fn record(&mut self, condition: LinkCondition, level: RateLevel) -> f64 {
+        let mw = self.instantaneous_mw(condition, level);
+        self.meter.record(mw);
+        match condition {
+            LinkCondition::Active => self.active_cycles += 1,
+            LinkCondition::IdleOn => self.idle_cycles += 1,
+            LinkCondition::Off => self.off_cycles += 1,
+        }
+        mw
+    }
+
+    /// Average power over all recorded cycles, mW.
+    pub fn average_mw(&self) -> f64 {
+        self.meter.average_mw()
+    }
+
+    /// Total energy in mW·cycles.
+    pub fn energy_mw_cycles(&self) -> f64 {
+        self.meter.energy_mw_cycles()
+    }
+
+    /// `(active, idle_on, off)` cycle counts.
+    pub fn cycle_split(&self) -> (u64, u64, u64) {
+        (self.active_cycles, self.idle_cycles, self.off_cycles)
+    }
+
+    /// Duty cycle: fraction of on-cycles spent active.
+    pub fn duty_cycle(&self) -> f64 {
+        let on = self.active_cycles + self.idle_cycles;
+        if on == 0 {
+            0.0
+        } else {
+            self.active_cycles as f64 / on as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonics::power::LinkPowerModel;
+
+    fn acct() -> EnergyAccountant {
+        EnergyAccountant::new(LinkPowerModel::paper_table().with_idle_fraction(0.05))
+    }
+
+    #[test]
+    fn charges_by_condition() {
+        let mut a = acct();
+        let high = RateLevel(2);
+        assert!((a.record(LinkCondition::Active, high) - 43.03).abs() < 1e-9);
+        assert!((a.record(LinkCondition::IdleOn, high) - 43.03 * 0.05).abs() < 1e-9);
+        assert_eq!(a.record(LinkCondition::Off, high), 0.0);
+        assert_eq!(a.cycle_split(), (1, 1, 1));
+    }
+
+    #[test]
+    fn average_over_mixed_cycles() {
+        let mut a = acct();
+        let low = RateLevel(0);
+        a.record(LinkCondition::Active, low); // 8.6
+        a.record(LinkCondition::Off, low); // 0
+        assert!((a.average_mw() - 4.3).abs() < 1e-9);
+        assert!((a.energy_mw_cycles() - 8.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycle_ignores_off_time() {
+        let mut a = acct();
+        let l = RateLevel(1);
+        a.record(LinkCondition::Active, l);
+        a.record(LinkCondition::IdleOn, l);
+        a.record(LinkCondition::IdleOn, l);
+        a.record(LinkCondition::Off, l);
+        assert!((a.duty_cycle() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_accountant() {
+        let a = acct();
+        assert_eq!(a.average_mw(), 0.0);
+        assert_eq!(a.duty_cycle(), 0.0);
+        assert_eq!(a.model().active_mw(RateLevel(2)), 43.03);
+    }
+
+    #[test]
+    fn lower_level_saves_energy_per_active_cycle() {
+        let mut a = acct();
+        let p_low = a.record(LinkCondition::Active, RateLevel(0));
+        let p_high = a.record(LinkCondition::Active, RateLevel(2));
+        assert!(p_low < p_high);
+    }
+}

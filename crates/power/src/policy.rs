@@ -1,0 +1,134 @@
+//! The DPM threshold policy of §3.1.
+//!
+//! Each power-awareness cycle the LC compares the previous window's
+//! `Link_util` and `Buffer_util` against three thresholds:
+//!
+//! * `Link_util < L_min` → scale the bit rate **down** one level,
+//! * `Link_util > L_max` **and** `Buffer_util > B_max` → scale **up** one
+//!   level,
+//! * otherwise → hold.
+//!
+//! "We aggressively push the link utilization to the limit ... instead of
+//! simply scaling the bit rate if Link_util exceeds L_max, we incorporate
+//! additional power savings by not only saturating the link, but also
+//! waiting until the buffer utilization exceeds B_max."
+//!
+//! The P-NB preset sets `B_max = 0` (any queueing triggers the up-scale) and
+//! a lower `L_max = 0.7`: "in P-NB, the links are not allowed to completely
+//! saturate as there are no additional links/bandwidth to provide in case
+//! they are saturated. Therefore, we conservatively increase the bit rate
+//! when it is about to saturate."
+
+/// What the regulator should do with the link's bit rate this window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Move one level down (save power).
+    Down,
+    /// Keep the current level.
+    Hold,
+    /// Move one level up (add bandwidth).
+    Up,
+}
+
+/// Threshold set for the DPM regulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpmPolicy {
+    /// Scale down below this link utilization.
+    pub l_min: f64,
+    /// Scale up above this link utilization...
+    pub l_max: f64,
+    /// ...but only once buffer utilization also exceeds this.
+    pub b_max: f64,
+}
+
+impl DpmPolicy {
+    /// Creates a policy; thresholds must satisfy `0 ≤ l_min ≤ l_max ≤ 1`.
+    pub fn new(l_min: f64, l_max: f64, b_max: f64) -> Self {
+        assert!((0.0..=1.0).contains(&l_min));
+        assert!((0.0..=1.0).contains(&l_max));
+        assert!((0.0..=1.0).contains(&b_max));
+        assert!(l_min <= l_max, "l_min must not exceed l_max");
+        Self { l_min, l_max, b_max }
+    }
+
+    /// The paper's P-B (power-aware, bandwidth-reconfigured) thresholds:
+    /// `L_min = 0.7`, `L_max = 0.9`, `B_max = 0.3`.
+    pub fn power_bandwidth() -> Self {
+        Self::new(0.7, 0.9, 0.3)
+    }
+
+    /// The paper's P-NB (power-aware, non-bandwidth-reconfigured)
+    /// thresholds: `L_min = 0.5`, `L_max = 0.7`, `B_max = 0.0` —
+    /// conservative up-scaling since no spare bandwidth exists.
+    ///
+    /// (The paper states `L_max = 0.7` and `B_max = 0` for P-NB; it keeps
+    /// `L_min` unspecified, so we place it a band below `L_max` the same
+    /// 0.2 width the P-B setting uses.)
+    pub fn power_only() -> Self {
+        Self::new(0.5, 0.7, 0.0)
+    }
+
+    /// The decision for one link given the previous window's statistics.
+    pub fn decide(&self, link_util: f64, buffer_util: f64) -> ScaleDecision {
+        debug_assert!((0.0..=1.0).contains(&link_util));
+        debug_assert!((0.0..=1.0).contains(&buffer_util));
+        if link_util < self.l_min {
+            ScaleDecision::Down
+        } else if link_util > self.l_max && buffer_util > self.b_max {
+            ScaleDecision::Up
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_presets() {
+        let pb = DpmPolicy::power_bandwidth();
+        assert_eq!((pb.l_min, pb.l_max, pb.b_max), (0.7, 0.9, 0.3));
+        let pnb = DpmPolicy::power_only();
+        assert_eq!((pnb.l_max, pnb.b_max), (0.7, 0.0));
+    }
+
+    #[test]
+    fn low_utilization_scales_down() {
+        let p = DpmPolicy::power_bandwidth();
+        assert_eq!(p.decide(0.0, 0.0), ScaleDecision::Down);
+        assert_eq!(p.decide(0.69, 0.9), ScaleDecision::Down);
+    }
+
+    #[test]
+    fn mid_band_holds() {
+        let p = DpmPolicy::power_bandwidth();
+        assert_eq!(p.decide(0.7, 0.0), ScaleDecision::Hold);
+        assert_eq!(p.decide(0.8, 1.0), ScaleDecision::Hold);
+        assert_eq!(p.decide(0.9, 1.0), ScaleDecision::Hold); // not strictly above
+    }
+
+    #[test]
+    fn up_requires_both_thresholds() {
+        let p = DpmPolicy::power_bandwidth();
+        // Saturated link but little queueing: hold (extra power saving).
+        assert_eq!(p.decide(0.95, 0.2), ScaleDecision::Hold);
+        assert_eq!(p.decide(0.95, 0.3), ScaleDecision::Hold); // not strictly above
+        assert_eq!(p.decide(0.95, 0.31), ScaleDecision::Up);
+    }
+
+    #[test]
+    fn pnb_scales_up_on_any_queueing() {
+        let p = DpmPolicy::power_only();
+        assert_eq!(p.decide(0.75, 0.01), ScaleDecision::Up);
+        assert_eq!(p.decide(0.75, 0.0), ScaleDecision::Hold);
+        assert_eq!(p.decide(0.4, 0.5), ScaleDecision::Down);
+    }
+
+    #[test]
+    #[should_panic(expected = "l_min must not exceed l_max")]
+    fn inverted_band_rejected() {
+        DpmPolicy::new(0.9, 0.7, 0.0);
+    }
+}

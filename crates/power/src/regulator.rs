@@ -1,0 +1,170 @@
+//! The per-LC regulator: policy + ladder + transition model.
+//!
+//! Each power-awareness window the LC feeds the previous window's
+//! `Link_util`/`Buffer_util` into the regulator, which returns the concrete
+//! action: retune to a target level (with a dark-time penalty) or hold.
+//! "The bit rate scaling is locally controlled by the LC" (§3.1).
+
+use crate::policy::{DpmPolicy, ScaleDecision};
+use crate::transition::TransitionModel;
+use desim::Cycle;
+use photonics::bitrate::{RateLadder, RateLevel};
+
+/// The action the LC applies after a power-awareness cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegulatorAction {
+    /// Stay at the current level.
+    Hold,
+    /// Retune to the level, disabling the link for the penalty.
+    Retune {
+        /// Target rate level.
+        level: RateLevel,
+        /// Dark cycles charged for the transition.
+        penalty: Cycle,
+    },
+}
+
+/// Per-link DPM regulator.
+#[derive(Debug, Clone)]
+pub struct LinkRegulator {
+    policy: DpmPolicy,
+    ladder: RateLadder,
+    transition: TransitionModel,
+    level: RateLevel,
+    scale_ups: u64,
+    scale_downs: u64,
+}
+
+impl LinkRegulator {
+    /// Creates a regulator starting at the ladder's highest level (links
+    /// boot at full rate, as in the paper's NP baselines).
+    pub fn new(policy: DpmPolicy, ladder: RateLadder, transition: TransitionModel) -> Self {
+        let level = ladder.highest();
+        Self {
+            policy,
+            ladder,
+            transition,
+            level,
+            scale_ups: 0,
+            scale_downs: 0,
+        }
+    }
+
+    /// Current level.
+    pub fn level(&self) -> RateLevel {
+        self.level
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> &DpmPolicy {
+        &self.policy
+    }
+
+    /// Lifetime `(ups, downs)` transition counts.
+    pub fn transitions(&self) -> (u64, u64) {
+        (self.scale_ups, self.scale_downs)
+    }
+
+    /// Feeds one window's statistics; returns the action and updates the
+    /// regulator's notion of the level.
+    pub fn observe(&mut self, link_util: f64, buffer_util: f64) -> RegulatorAction {
+        let decision = self.policy.decide(link_util, buffer_util);
+        let target = match decision {
+            ScaleDecision::Down => self.ladder.down(self.level),
+            ScaleDecision::Up => self.ladder.up(self.level),
+            ScaleDecision::Hold => self.level,
+        };
+        if target == self.level {
+            return RegulatorAction::Hold;
+        }
+        let penalty = self.transition.penalty_between(self.level, target);
+        match decision {
+            ScaleDecision::Up => self.scale_ups += 1,
+            ScaleDecision::Down => self.scale_downs += 1,
+            ScaleDecision::Hold => unreachable!("hold never changes level"),
+        }
+        self.level = target;
+        RegulatorAction::Retune {
+            level: target,
+            penalty,
+        }
+    }
+
+    /// Forces the level (used when DBR hands a channel to a new owner that
+    /// must match the receiver's lock).
+    pub fn force_level(&mut self, level: RateLevel) {
+        assert!(level.index() < self.ladder.len());
+        self.level = level;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DpmPolicy;
+
+    fn reg() -> LinkRegulator {
+        LinkRegulator::new(
+            DpmPolicy::power_bandwidth(),
+            RateLadder::paper(),
+            TransitionModel::paper(),
+        )
+    }
+
+    #[test]
+    fn starts_at_highest() {
+        let r = reg();
+        assert_eq!(r.level(), RateLevel(2));
+        assert_eq!(r.policy().l_max, 0.9);
+    }
+
+    #[test]
+    fn idle_link_walks_down_to_lowest() {
+        let mut r = reg();
+        assert_eq!(
+            r.observe(0.0, 0.0),
+            RegulatorAction::Retune { level: RateLevel(1), penalty: 65 }
+        );
+        assert_eq!(
+            r.observe(0.0, 0.0),
+            RegulatorAction::Retune { level: RateLevel(0), penalty: 65 }
+        );
+        // At the bottom, Down saturates into Hold.
+        assert_eq!(r.observe(0.0, 0.0), RegulatorAction::Hold);
+        assert_eq!(r.level(), RateLevel(0));
+        assert_eq!(r.transitions(), (0, 2));
+    }
+
+    #[test]
+    fn congested_link_walks_back_up() {
+        let mut r = reg();
+        r.observe(0.0, 0.0); // -> mid
+        assert_eq!(
+            r.observe(0.95, 0.5),
+            RegulatorAction::Retune { level: RateLevel(2), penalty: 65 }
+        );
+        // At the top, Up saturates into Hold.
+        assert_eq!(r.observe(0.95, 0.5), RegulatorAction::Hold);
+        assert_eq!(r.transitions(), (1, 1));
+    }
+
+    #[test]
+    fn mid_band_holds_without_transition() {
+        let mut r = reg();
+        assert_eq!(r.observe(0.8, 0.1), RegulatorAction::Hold);
+        assert_eq!(r.level(), RateLevel(2));
+        assert_eq!(r.transitions(), (0, 0));
+    }
+
+    #[test]
+    fn force_level_overrides() {
+        let mut r = reg();
+        r.force_level(RateLevel(0));
+        assert_eq!(r.level(), RateLevel(0));
+        // Saturated + queued: scales up from the forced level.
+        assert_eq!(
+            r.observe(1.0, 1.0),
+            RegulatorAction::Retune { level: RateLevel(1), penalty: 65 }
+        );
+    }
+}

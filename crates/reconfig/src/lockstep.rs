@@ -1,0 +1,111 @@
+//! The odd–even window scheduler.
+//!
+//! §3.2: "We implement odd-even reconfiguration, where every odd cycle
+//! R_w = 1, 3, 5 ... RC_i triggers power-awareness cycle and every even
+//! cycle, R_w = 2, 4, 6, ... the bandwidth reconfiguration cycle is
+//! triggered." Power scaling is local (one-to-one transmitter/receiver
+//! mapping); bandwidth reconfiguration is global — alternating them keeps
+//! the two control planes from interfering.
+
+use desim::Cycle;
+
+/// What a reconfiguration window triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// DPM: local bit-rate/voltage scaling.
+    Power,
+    /// DBR: global wavelength re-allocation.
+    Bandwidth,
+}
+
+/// The LS window schedule: fixed-length windows, odd = power, even =
+/// bandwidth (1-indexed, matching the paper's numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockStepSchedule {
+    /// Window length `R_w` in cycles (paper: 2000).
+    pub window: Cycle,
+}
+
+impl LockStepSchedule {
+    /// Creates a schedule with the given `R_w`.
+    pub fn new(window: Cycle) -> Self {
+        assert!(window > 0);
+        Self { window }
+    }
+
+    /// The paper's `R_w` = 2000 cycles ("we use network simulation to
+    /// determine an optimum value of R_w to be 2000 simulation cycles").
+    pub fn paper() -> Self {
+        Self::new(2000)
+    }
+
+    /// 1-indexed window number containing cycle `t` (window 1 spans
+    /// `[0, window)`).
+    pub fn window_index(&self, t: Cycle) -> u64 {
+        t / self.window + 1
+    }
+
+    /// True exactly at window boundaries (the trigger cycles), excluding
+    /// t = 0 (the system boots mid-window-1).
+    pub fn is_boundary(&self, t: Cycle) -> bool {
+        t > 0 && t.is_multiple_of(self.window)
+    }
+
+    /// The kind of cycle triggered at boundary `t` — the *completed* window
+    /// index decides: completing window 1 (odd) triggers Power, completing
+    /// window 2 (even) triggers Bandwidth.
+    pub fn kind_at(&self, t: Cycle) -> Option<WindowKind> {
+        if !self.is_boundary(t) {
+            return None;
+        }
+        let completed = t / self.window; // = index of the window just closed
+        Some(if completed % 2 == 1 {
+            WindowKind::Power
+        } else {
+            WindowKind::Bandwidth
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_window_is_2000() {
+        assert_eq!(LockStepSchedule::paper().window, 2000);
+    }
+
+    #[test]
+    fn window_indexing() {
+        let s = LockStepSchedule::new(100);
+        assert_eq!(s.window_index(0), 1);
+        assert_eq!(s.window_index(99), 1);
+        assert_eq!(s.window_index(100), 2);
+        assert_eq!(s.window_index(250), 3);
+    }
+
+    #[test]
+    fn boundaries_alternate_power_then_bandwidth() {
+        let s = LockStepSchedule::new(100);
+        assert!(!s.is_boundary(0));
+        assert!(!s.is_boundary(50));
+        assert!(s.is_boundary(100));
+        assert_eq!(s.kind_at(100), Some(WindowKind::Power)); // window 1 done
+        assert_eq!(s.kind_at(200), Some(WindowKind::Bandwidth)); // window 2 done
+        assert_eq!(s.kind_at(300), Some(WindowKind::Power));
+        assert_eq!(s.kind_at(400), Some(WindowKind::Bandwidth));
+        assert_eq!(s.kind_at(150), None);
+        assert_eq!(s.kind_at(0), None);
+    }
+
+    #[test]
+    fn every_boundary_has_a_kind() {
+        let s = LockStepSchedule::paper();
+        for k in 1..20u64 {
+            let t = k * 2000;
+            assert!(s.is_boundary(t));
+            assert!(s.kind_at(t).is_some());
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Board Reconfiguration Controllers (RCs).
+//!
+//! Each board's RC owns an *outgoing* link statistic table (filled by the
+//! Link Request stage from its own LCs) and an *incoming* link statistic
+//! table (filled by the Board Request stage from the other RCs). Fig. 4.
+//! The RC computes the Reconfigure stage with an [`AllocPolicy`] and turns
+//! Board Response grants into Link Response laser commands.
+
+use crate::alloc::{AllocPolicy, IncomingLink, Reassignment};
+use crate::msg::{LaserCommand, LinkReading, WavelengthGrant};
+use photonics::rwa::StaticRwa;
+use photonics::wavelength::{BoardId, Wavelength};
+
+/// One board's reconfiguration controller.
+#[derive(Debug, Clone)]
+pub struct ReconfigController {
+    board: BoardId,
+    boards: u16,
+    policy: AllocPolicy,
+    /// Outgoing table indexed by wavelength: latest reading per transmitter.
+    outgoing: Vec<Option<LinkReading>>,
+    /// Incoming table indexed by wavelength: latest owner + buffer stats.
+    incoming: Vec<Option<IncomingLink>>,
+    /// Reconfigurations decided (lifetime).
+    reassignments_made: u64,
+}
+
+impl ReconfigController {
+    /// Creates the RC of `board` in a `boards`-board system.
+    pub fn new(board: BoardId, boards: u16, policy: AllocPolicy) -> Self {
+        assert!(board.0 < boards);
+        Self {
+            board,
+            boards,
+            policy,
+            outgoing: vec![None; boards as usize],
+            incoming: vec![None; boards as usize],
+            reassignments_made: 0,
+        }
+    }
+
+    /// The board this RC controls.
+    pub fn board(&self) -> BoardId {
+        self.board
+    }
+
+    /// The allocation policy.
+    pub fn policy(&self) -> &AllocPolicy {
+        &self.policy
+    }
+
+    /// Lifetime count of re-assignments this RC decided.
+    pub fn reassignments_made(&self) -> u64 {
+        self.reassignments_made
+    }
+
+    /// Link Request stage completion: stores the readings the circulating
+    /// packet collected from this board's LCs.
+    pub fn update_outgoing(&mut self, readings: &[LinkReading]) {
+        for r in readings {
+            self.outgoing[r.wavelength.index()] = Some(*r);
+        }
+    }
+
+    /// The stored outgoing reading for a wavelength.
+    pub fn outgoing(&self, w: Wavelength) -> Option<&LinkReading> {
+        self.outgoing[w.index()].as_ref()
+    }
+
+    /// Board Request stage, responder side: when `requester`'s
+    /// `Board_Request` passes through this RC, report the reading of the
+    /// channel this board drives *toward* the requester, if any laser of
+    /// ours points there.
+    pub fn report_toward(&self, requester: BoardId) -> Option<(BoardId, LinkReading)> {
+        self.outgoing
+            .iter()
+            .flatten()
+            .find(|r| r.destination == Some(requester))
+            .map(|r| (self.board, *r))
+    }
+
+    /// Board Request stage, requester side: ingests the reports collected
+    /// by our returned `Board_Request` into the incoming table.
+    pub fn update_incoming(&mut self, reports: &[(BoardId, LinkReading)]) {
+        for (owner, r) in reports {
+            self.incoming[r.wavelength.index()] = Some(IncomingLink {
+                wavelength: r.wavelength,
+                owner: *owner,
+                buffer_util: r.buffer_util,
+            });
+        }
+    }
+
+    /// The stored incoming entry for a wavelength.
+    pub fn incoming(&self, w: Wavelength) -> Option<&IncomingLink> {
+        self.incoming[w.index()].as_ref()
+    }
+
+    /// Reconfigure stage: classify the incoming table and compute grants.
+    pub fn reconfigure(&mut self) -> Vec<Reassignment> {
+        let incoming: Vec<IncomingLink> = self.incoming.iter().flatten().copied().collect();
+        let grants = self.policy.reconfigure(self.board, &incoming);
+        self.reassignments_made += grants.len() as u64;
+        // Keep the incoming table coherent with the decisions.
+        for g in &grants {
+            if let Some(entry) = &mut self.incoming[g.wavelength.index()] {
+                entry.owner = g.to;
+            }
+        }
+        grants
+    }
+
+    /// Board Response stage, receiver side: converts the grants that concern
+    /// *this* board into laser commands for the Link Response stage, and
+    /// updates the outgoing table's notion of destinations.
+    pub fn commands_from_grants(&mut self, grants: &[WavelengthGrant]) -> Vec<LaserCommand> {
+        let mut cmds = Vec::new();
+        for g in grants {
+            if g.from == self.board {
+                cmds.push(LaserCommand {
+                    wavelength: g.wavelength,
+                    destination: g.destination,
+                    on: false,
+                });
+                if let Some(r) = &mut self.outgoing[g.wavelength.index()] {
+                    if r.destination == Some(g.destination) {
+                        r.destination = None;
+                    }
+                }
+            }
+            if g.to == self.board {
+                cmds.push(LaserCommand {
+                    wavelength: g.wavelength,
+                    destination: g.destination,
+                    on: true,
+                });
+                if let Some(r) = &mut self.outgoing[g.wavelength.index()] {
+                    r.destination = Some(g.destination);
+                }
+            }
+        }
+        cmds
+    }
+
+    /// Resets both tables to the static RWA view (used at boot and by the
+    /// periodic re-synchronisation the paper mentions).
+    pub fn reset_to_static(&mut self, rwa: &StaticRwa) {
+        assert_eq!(rwa.boards(), self.boards);
+        for slot in &mut self.outgoing {
+            *slot = None;
+        }
+        for slot in &mut self.incoming {
+            *slot = None;
+        }
+        for (owner, w) in rwa.incoming(self.board) {
+            self.incoming[w.index()] = Some(IncomingLink {
+                wavelength: w,
+                owner,
+                buffer_util: 0.0,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use photonics::bitrate::RateLevel;
+
+    fn reading(w: u16, dest: Option<u16>, link: f64, buf: f64) -> LinkReading {
+        LinkReading {
+            wavelength: Wavelength(w),
+            destination: dest.map(BoardId),
+            link_util: link,
+            buffer_util: buf,
+            level: RateLevel(2),
+        }
+    }
+
+    #[test]
+    fn outgoing_table_updates() {
+        let mut rc = ReconfigController::new(BoardId(0), 4, AllocPolicy::paper());
+        rc.update_outgoing(&[reading(1, Some(3), 0.5, 0.1), reading(2, Some(2), 0.0, 0.0)]);
+        assert_eq!(rc.outgoing(Wavelength(1)).unwrap().destination, Some(BoardId(3)));
+        assert!(rc.outgoing(Wavelength(3)).is_none());
+        assert_eq!(rc.board(), BoardId(0));
+    }
+
+    #[test]
+    fn report_toward_finds_the_right_channel() {
+        let mut rc = ReconfigController::new(BoardId(1), 4, AllocPolicy::paper());
+        rc.update_outgoing(&[reading(1, Some(0), 0.9, 0.6), reading(3, Some(2), 0.1, 0.0)]);
+        let (owner, r) = rc.report_toward(BoardId(0)).unwrap();
+        assert_eq!(owner, BoardId(1));
+        assert_eq!(r.wavelength, Wavelength(1));
+        assert!(rc.report_toward(BoardId(3)).is_none());
+    }
+
+    #[test]
+    fn full_dbr_round_trip() {
+        // Destination board 0 in a 4-board system. Static owners of its
+        // incoming wavelengths: λ1→board1, λ2→board2, λ3→board3.
+        let mut rc0 = ReconfigController::new(BoardId(0), 4, AllocPolicy::paper());
+        rc0.update_incoming(&[
+            (BoardId(1), reading(1, Some(0), 1.0, 0.8)), // hot flow
+            (BoardId(2), reading(2, Some(0), 0.0, 0.0)), // idle
+            (BoardId(3), reading(3, Some(0), 0.0, 0.0)), // idle
+        ]);
+        let grants = rc0.reconfigure();
+        assert_eq!(grants.len(), 2);
+        assert!(grants.iter().all(|g| g.to == BoardId(1)));
+        assert_eq!(rc0.reassignments_made(), 2);
+        // Incoming table now reflects the new owners.
+        assert_eq!(rc0.incoming(Wavelength(2)).unwrap().owner, BoardId(1));
+
+        // Board 2 (loser of λ2) turns its laser off; board 1 turns two on.
+        let mut rc2 = ReconfigController::new(BoardId(2), 4, AllocPolicy::paper());
+        rc2.update_outgoing(&[reading(2, Some(0), 0.0, 0.0)]);
+        let cmds2 = rc2.commands_from_grants(&grants);
+        assert_eq!(cmds2.len(), 1);
+        assert!(!cmds2[0].on);
+        assert_eq!(cmds2[0].wavelength, Wavelength(2));
+        assert_eq!(rc2.outgoing(Wavelength(2)).unwrap().destination, None);
+
+        let mut rc1 = ReconfigController::new(BoardId(1), 4, AllocPolicy::paper());
+        rc1.update_outgoing(&[
+            reading(1, Some(0), 1.0, 0.8),
+            reading(2, None, 0.0, 0.0),
+            reading(3, None, 0.0, 0.0),
+        ]);
+        let cmds1 = rc1.commands_from_grants(&grants);
+        assert_eq!(cmds1.len(), 2);
+        assert!(cmds1.iter().all(|c| c.on && c.destination == BoardId(0)));
+        assert_eq!(
+            rc1.outgoing(Wavelength(2)).unwrap().destination,
+            Some(BoardId(0))
+        );
+    }
+
+    #[test]
+    fn grants_not_involving_this_board_are_ignored() {
+        let mut rc = ReconfigController::new(BoardId(3), 8, AllocPolicy::paper());
+        let g = WavelengthGrant {
+            destination: BoardId(0),
+            wavelength: Wavelength(1),
+            from: BoardId(1),
+            to: BoardId(2),
+        };
+        assert!(rc.commands_from_grants(&[g]).is_empty());
+    }
+
+    #[test]
+    fn reset_to_static_restores_rwa_owners() {
+        let rwa = StaticRwa::new(4);
+        let mut rc = ReconfigController::new(BoardId(2), 4, AllocPolicy::paper());
+        rc.update_incoming(&[(BoardId(0), reading(2, Some(2), 0.3, 0.9))]);
+        rc.reconfigure();
+        rc.reset_to_static(&rwa);
+        // Static owner of λ1 at destination 2 is board 3 ((2+1) mod 4).
+        assert_eq!(rc.incoming(Wavelength(1)).unwrap().owner, BoardId(3));
+        assert_eq!(rc.incoming(Wavelength(1)).unwrap().buffer_util, 0.0);
+        assert!(rc.outgoing(Wavelength(1)).is_none());
+    }
+}

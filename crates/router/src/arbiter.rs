@@ -1,0 +1,163 @@
+//! Arbiters: round-robin and matrix (least-recently-served).
+//!
+//! Switch allocation and VC allocation both need fair single-winner
+//! arbitration among requesters. Round-robin is the classic cheap choice;
+//! the matrix arbiter provides strict least-recently-served fairness
+//! (Dally & Towles §18).
+
+/// A single-winner arbiter over `n` requesters.
+pub trait Arbiter {
+    /// Number of requesters.
+    fn len(&self) -> usize;
+    /// True if `len() == 0`.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Picks a winner among `requests` (true = requesting) and updates
+    /// internal priority state. Returns `None` when nobody requests.
+    fn arbitrate(&mut self, requests: &[bool]) -> Option<usize>;
+}
+
+/// Rotating-priority round-robin arbiter.
+#[derive(Debug, Clone)]
+pub struct RoundRobinArbiter {
+    n: usize,
+    /// Index with highest priority next round.
+    next: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates an arbiter over `n` requesters.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Self { n, next: 0 }
+    }
+}
+
+impl Arbiter for RoundRobinArbiter {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n);
+        for i in 0..self.n {
+            let idx = (self.next + i) % self.n;
+            if requests[idx] {
+                self.next = (idx + 1) % self.n;
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+/// Matrix arbiter: grants the requester that least recently won.
+#[derive(Debug, Clone)]
+pub struct MatrixArbiter {
+    n: usize,
+    /// `prio[i][j]` — true if `i` beats `j`.
+    prio: Vec<Vec<bool>>,
+}
+
+impl MatrixArbiter {
+    /// Creates an arbiter over `n` requesters; initial priority is by index.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let prio = (0..n).map(|i| (0..n).map(|j| i < j).collect()).collect();
+        Self { n, prio }
+    }
+}
+
+impl Arbiter for MatrixArbiter {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
+        assert_eq!(requests.len(), self.n);
+        let winner = (0..self.n).find(|&i| {
+            requests[i]
+                && (0..self.n).all(|j| j == i || !requests[j] || self.prio[i][j])
+        })?;
+        // Winner drops below everyone else.
+        for j in 0..self.n {
+            if j != winner {
+                self.prio[winner][j] = false;
+                self.prio[j][winner] = true;
+            }
+        }
+        Some(winner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut a = RoundRobinArbiter::new(3);
+        let all = [true, true, true];
+        assert_eq!(a.arbitrate(&all), Some(0));
+        assert_eq!(a.arbitrate(&all), Some(1));
+        assert_eq!(a.arbitrate(&all), Some(2));
+        assert_eq!(a.arbitrate(&all), Some(0));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn round_robin_skips_idle() {
+        let mut a = RoundRobinArbiter::new(4);
+        assert_eq!(a.arbitrate(&[false, false, true, false]), Some(2));
+        // Priority moved past 2.
+        assert_eq!(a.arbitrate(&[true, false, true, false]), Some(0));
+    }
+
+    #[test]
+    fn no_requests_no_winner() {
+        let mut a = RoundRobinArbiter::new(2);
+        assert_eq!(a.arbitrate(&[false, false]), None);
+        let mut m = MatrixArbiter::new(2);
+        assert_eq!(m.arbitrate(&[false, false]), None);
+    }
+
+    #[test]
+    fn matrix_is_least_recently_served() {
+        let mut a = MatrixArbiter::new(3);
+        let all = [true, true, true];
+        let w1 = a.arbitrate(&all).unwrap();
+        let w2 = a.arbitrate(&all).unwrap();
+        let w3 = a.arbitrate(&all).unwrap();
+        // All three get served once before anyone repeats.
+        let mut ws = vec![w1, w2, w3];
+        ws.sort_unstable();
+        assert_eq!(ws, vec![0, 1, 2]);
+        // The first winner is now the least recent again after the others.
+        assert_eq!(a.arbitrate(&all), Some(w1));
+    }
+
+    #[test]
+    fn matrix_sole_requester_wins() {
+        let mut a = MatrixArbiter::new(4);
+        a.arbitrate(&[true, true, true, true]);
+        assert_eq!(a.arbitrate(&[false, false, false, true]), Some(3));
+    }
+
+    #[test]
+    fn fairness_under_persistent_load() {
+        // Both arbiters must serve every requester equally often.
+        let mut rr = RoundRobinArbiter::new(4);
+        let mut mx = MatrixArbiter::new(4);
+        let mut rr_counts = [0u32; 4];
+        let mut mx_counts = [0u32; 4];
+        let all = [true; 4];
+        for _ in 0..400 {
+            rr_counts[rr.arbitrate(&all).unwrap()] += 1;
+            mx_counts[mx.arbitrate(&all).unwrap()] += 1;
+        }
+        assert!(rr_counts.iter().all(|&c| c == 100), "{rr_counts:?}");
+        assert!(mx_counts.iter().all(|&c| c == 100), "{mx_counts:?}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Bounded flit FIFOs.
+
+use crate::flit::Flit;
+use std::collections::VecDeque;
+
+/// A bounded FIFO of flits — one per virtual channel.
+#[derive(Debug, Clone)]
+pub struct FlitBuffer {
+    fifo: VecDeque<Flit>,
+    capacity: usize,
+    /// High-water mark, for buffer-utilization statistics.
+    peak: usize,
+}
+
+impl FlitBuffer {
+    /// Creates a buffer holding at most `capacity` flits.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Flits currently queued.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// True when no space remains.
+    pub fn is_full(&self) -> bool {
+        self.fifo.len() >= self.capacity
+    }
+
+    /// Free slots.
+    pub fn space(&self) -> usize {
+        self.capacity - self.fifo.len()
+    }
+
+    /// Occupancy fraction in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        self.fifo.len() as f64 / self.capacity as f64
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Pushes a flit.
+    ///
+    /// # Panics
+    /// If full — flow control must prevent this; overflow is a protocol
+    /// bug, not a droppable condition.
+    pub fn push(&mut self, flit: Flit) {
+        assert!(!self.is_full(), "flit buffer overflow (capacity {})", self.capacity);
+        self.fifo.push_back(flit);
+        self.peak = self.peak.max(self.fifo.len());
+    }
+
+    /// The flit at the head, if any.
+    pub fn front(&self) -> Option<&Flit> {
+        self.fifo.front()
+    }
+
+    /// Removes and returns the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.fifo.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, NodeId, PacketId};
+
+    fn flit(seq: u16) -> Flit {
+        Flit {
+            packet: PacketId(0),
+            kind: FlitKind::Body,
+            src: NodeId(0),
+            dst: NodeId(1),
+            injected_at: 0,
+            labelled: false,
+            seq,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut b = FlitBuffer::new(4);
+        b.push(flit(0));
+        b.push(flit(1));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.front().unwrap().seq, 0);
+        assert_eq!(b.pop().unwrap().seq, 0);
+        assert_eq!(b.pop().unwrap().seq, 1);
+        assert!(b.pop().is_none());
+    }
+
+    #[test]
+    fn occupancy_and_space() {
+        let mut b = FlitBuffer::new(4);
+        assert_eq!(b.space(), 4);
+        assert_eq!(b.occupancy(), 0.0);
+        b.push(flit(0));
+        b.push(flit(1));
+        assert_eq!(b.space(), 2);
+        assert!((b.occupancy() - 0.5).abs() < 1e-12);
+        assert!(!b.is_full());
+        b.push(flit(2));
+        b.push(flit(3));
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut b = FlitBuffer::new(4);
+        b.push(flit(0));
+        b.push(flit(1));
+        b.pop();
+        b.pop();
+        assert_eq!(b.peak(), 2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut b = FlitBuffer::new(1);
+        b.push(flit(0));
+        b.push(flit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        FlitBuffer::new(0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The crossbar switch: per-cycle input→output connection bookkeeping.
+//!
+//! The crossbar itself is combinational; what the model enforces is the
+//! structural hazard — at most one input drives each output and each input
+//! drives at most one output per cycle. Switch allocation (SA) decides the
+//! winners; the crossbar double-checks them.
+
+use crate::routing::PortId;
+
+/// One cycle's crossbar schedule.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    inputs: usize,
+    outputs: usize,
+    /// `out_for_in[i]` — the output input `i` drives this cycle.
+    out_for_in: Vec<Option<PortId>>,
+    /// `in_for_out[o]` — the input driving output `o` this cycle.
+    in_for_out: Vec<Option<PortId>>,
+}
+
+impl Crossbar {
+    /// Creates an `inputs × outputs` crossbar.
+    pub fn new(inputs: usize, outputs: usize) -> Self {
+        assert!(inputs > 0 && outputs > 0);
+        Self {
+            inputs,
+            outputs,
+            out_for_in: vec![None; inputs],
+            in_for_out: vec![None; outputs],
+        }
+    }
+
+    /// Number of input ports.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output ports.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Connects input `i` to output `o` for this cycle.
+    ///
+    /// # Panics
+    /// On a structural hazard (either side already connected) — SA must
+    /// never double-grant.
+    pub fn connect(&mut self, i: PortId, o: PortId) {
+        assert!(
+            self.out_for_in[i.index()].is_none(),
+            "input {i} already connected this cycle"
+        );
+        assert!(
+            self.in_for_out[o.index()].is_none(),
+            "output {o} already driven this cycle"
+        );
+        self.out_for_in[i.index()] = Some(o);
+        self.in_for_out[o.index()] = Some(i);
+    }
+
+    /// The output input `i` drives, if any.
+    pub fn output_of(&self, i: PortId) -> Option<PortId> {
+        self.out_for_in[i.index()]
+    }
+
+    /// The input driving output `o`, if any.
+    pub fn input_of(&self, o: PortId) -> Option<PortId> {
+        self.in_for_out[o.index()]
+    }
+
+    /// Connections made this cycle.
+    pub fn connections(&self) -> usize {
+        self.out_for_in.iter().flatten().count()
+    }
+
+    /// Clears the schedule for the next cycle.
+    pub fn clear(&mut self) {
+        self.out_for_in.iter_mut().for_each(|x| *x = None);
+        self.in_for_out.iter_mut().for_each(|x| *x = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_and_query() {
+        let mut x = Crossbar::new(4, 4);
+        x.connect(PortId(0), PortId(2));
+        x.connect(PortId(1), PortId(3));
+        assert_eq!(x.output_of(PortId(0)), Some(PortId(2)));
+        assert_eq!(x.input_of(PortId(3)), Some(PortId(1)));
+        assert_eq!(x.connections(), 2);
+        assert_eq!(x.inputs(), 4);
+        assert_eq!(x.outputs(), 4);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut x = Crossbar::new(2, 2);
+        x.connect(PortId(0), PortId(1));
+        x.clear();
+        assert_eq!(x.connections(), 0);
+        assert_eq!(x.output_of(PortId(0)), None);
+        // Reconnecting after clear is fine.
+        x.connect(PortId(0), PortId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already driven")]
+    fn double_drive_panics() {
+        let mut x = Crossbar::new(2, 2);
+        x.connect(PortId(0), PortId(1));
+        x.connect(PortId(1), PortId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_input_panics() {
+        let mut x = Crossbar::new(2, 2);
+        x.connect(PortId(0), PortId(0));
+        x.connect(PortId(0), PortId(1));
+    }
+
+    #[test]
+    fn rectangular_crossbar() {
+        let mut x = Crossbar::new(2, 5);
+        x.connect(PortId(1), PortId(4));
+        assert_eq!(x.input_of(PortId(4)), Some(PortId(1)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Packets and the packetizer.
+
+use crate::flit::{Flit, FlitKind, NodeId, PacketId};
+use desim::Cycle;
+
+/// A packet descriptor: the unit traffic generators emit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Number of flits (paper default: 8 flits = 64 bytes).
+    pub flits: u16,
+    /// Injection cycle at the source NI.
+    pub injected_at: Cycle,
+    /// Labelled for measurement.
+    pub labelled: bool,
+}
+
+impl Packet {
+    /// Splits the packet into its flit sequence.
+    pub fn flitize(&self) -> Vec<Flit> {
+        assert!(self.flits >= 1);
+        (0..self.flits)
+            .map(|i| {
+                let kind = match (self.flits, i) {
+                    (1, _) => FlitKind::HeadTail,
+                    (_, 0) => FlitKind::Head,
+                    (n, i) if i == n - 1 => FlitKind::Tail,
+                    _ => FlitKind::Body,
+                };
+                Flit {
+                    packet: self.id,
+                    kind,
+                    src: self.src,
+                    dst: self.dst,
+                    injected_at: self.injected_at,
+                    labelled: self.labelled,
+                    seq: i,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Allocates packet ids monotonically.
+#[derive(Debug, Default, Clone)]
+pub struct PacketIdAllocator {
+    next: u64,
+}
+
+impl PacketIdAllocator {
+    /// Creates an allocator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh id.
+    pub fn allocate(&mut self) -> PacketId {
+        let id = PacketId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Ids handed out so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(flits: u16) -> Packet {
+        Packet {
+            id: PacketId(7),
+            src: NodeId(1),
+            dst: NodeId(2),
+            flits,
+            injected_at: 100,
+            labelled: true,
+        }
+    }
+
+    #[test]
+    fn eight_flit_packet_structure() {
+        let flits = pkt(8).flitize();
+        assert_eq!(flits.len(), 8);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert!(flits[1..7].iter().all(|f| f.kind == FlitKind::Body));
+        assert_eq!(flits[7].kind, FlitKind::Tail);
+        assert!(flits.iter().all(|f| f.packet == PacketId(7)));
+        assert!(flits.iter().all(|f| f.labelled));
+        assert_eq!(
+            flits.iter().map(|f| f.seq).collect::<Vec<_>>(),
+            (0..8).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_flit_packet_is_headtail() {
+        let flits = pkt(1).flitize();
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+    }
+
+    #[test]
+    fn two_flit_packet_has_no_body() {
+        let flits = pkt(2).flitize();
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Tail);
+    }
+
+    #[test]
+    fn id_allocator_is_monotone() {
+        let mut a = PacketIdAllocator::new();
+        let x = a.allocate();
+        let y = a.allocate();
+        assert!(y > x);
+        assert_eq!(a.allocated(), 2);
+    }
+}

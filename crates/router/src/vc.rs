@@ -1,0 +1,119 @@
+//! Per-input virtual-channel state machines.
+//!
+//! Flits from different nodes interleave in the electrical domain through
+//! virtual channels (§2.1). Each input VC owns a flit buffer and walks the
+//! per-packet pipeline: Idle → Routing (RC) → WaitingVc (VA) → Active
+//! (SA/ST per flit) → Idle on tail traversal.
+
+use crate::buffer::FlitBuffer;
+use crate::routing::PortId;
+use desim::Cycle;
+
+/// Pipeline state of one input VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcState {
+    /// No packet in flight.
+    Idle,
+    /// Route computation in progress; completes at the stored cycle.
+    Routing {
+        /// Cycle at which RC completes.
+        done_at: Cycle,
+    },
+    /// Route known; requesting an output VC each cycle.
+    WaitingVc {
+        /// Output port the packet will use.
+        out_port: PortId,
+    },
+    /// Output VC held; flits bid for the switch. Bidding allowed from
+    /// `active_at` (VA took one cycle).
+    Active {
+        /// Output port the packet uses.
+        out_port: PortId,
+        /// Output VC index held.
+        out_vc: u8,
+        /// First cycle the VC may bid in SA.
+        active_at: Cycle,
+    },
+}
+
+/// One input virtual channel.
+#[derive(Debug, Clone)]
+pub struct InputVc {
+    /// Buffered flits.
+    pub buffer: FlitBuffer,
+    /// Pipeline state.
+    pub state: VcState,
+}
+
+impl InputVc {
+    /// Creates an idle VC with a buffer of `depth` flits.
+    pub fn new(depth: usize) -> Self {
+        Self {
+            buffer: FlitBuffer::new(depth),
+            state: VcState::Idle,
+        }
+    }
+
+    /// True when a new flit can be accepted (buffer space).
+    pub fn can_accept(&self) -> bool {
+        !self.buffer.is_full()
+    }
+
+    /// The output port the current packet is routed to, if RC completed.
+    pub fn routed_port(&self) -> Option<PortId> {
+        match self.state {
+            VcState::WaitingVc { out_port } => Some(out_port),
+            VcState::Active { out_port, .. } => Some(out_port),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{Flit, FlitKind, NodeId, PacketId};
+
+    fn head() -> Flit {
+        Flit {
+            packet: PacketId(1),
+            kind: FlitKind::Head,
+            src: NodeId(0),
+            dst: NodeId(3),
+            injected_at: 0,
+            labelled: false,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn starts_idle_with_space() {
+        let vc = InputVc::new(2);
+        assert_eq!(vc.state, VcState::Idle);
+        assert!(vc.can_accept());
+        assert_eq!(vc.routed_port(), None);
+    }
+
+    #[test]
+    fn routed_port_by_state() {
+        let mut vc = InputVc::new(2);
+        vc.buffer.push(head());
+        vc.state = VcState::WaitingVc { out_port: PortId(3) };
+        assert_eq!(vc.routed_port(), Some(PortId(3)));
+        vc.state = VcState::Active {
+            out_port: PortId(3),
+            out_vc: 1,
+            active_at: 5,
+        };
+        assert_eq!(vc.routed_port(), Some(PortId(3)));
+        vc.state = VcState::Routing { done_at: 2 };
+        assert_eq!(vc.routed_port(), None);
+    }
+
+    #[test]
+    fn full_buffer_rejects() {
+        let mut vc = InputVc::new(1);
+        vc.buffer.push(head());
+        assert!(!vc.can_accept());
+    }
+}

@@ -1,0 +1,167 @@
+//! Batch-means confidence intervals for steady-state simulation outputs.
+//!
+//! Single long-run simulations produce autocorrelated samples; the classic
+//! remedy is the method of batch means: split the measurement interval into
+//! `k` contiguous batches, treat per-batch means as (approximately)
+//! independent, and compute a Student-t confidence interval over them.
+
+use crate::running::Running;
+
+/// Accumulates samples into fixed-size batches and reports a CI over batch
+/// means.
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Running,
+    batch_means: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given batch size (samples per batch).
+    ///
+    /// # Panics
+    /// If `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0);
+        Self {
+            batch_size,
+            current: Running::new(),
+            batch_means: Vec::new(),
+        }
+    }
+
+    /// Adds a sample; closes a batch when it fills.
+    pub fn push(&mut self, x: f64) {
+        self.current.push(x);
+        if self.current.count() == self.batch_size {
+            self.batch_means.push(self.current.mean());
+            self.current.clear();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// Grand mean over completed batches (0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.batch_means.is_empty() {
+            return 0.0;
+        }
+        self.batch_means.iter().sum::<f64>() / self.batch_means.len() as f64
+    }
+
+    /// Half-width of the ~95% confidence interval over batch means.
+    /// Returns `None` with fewer than 2 batches.
+    pub fn ci_half_width(&self) -> Option<f64> {
+        let k = self.batch_means.len();
+        if k < 2 {
+            return None;
+        }
+        let mut r = Running::new();
+        for &m in &self.batch_means {
+            r.push(m);
+        }
+        let se = (r.sample_variance() / k as f64).sqrt();
+        Some(t_critical_95(k - 1) * se)
+    }
+
+    /// `(mean, half_width)` if at least two batches completed.
+    pub fn interval(&self) -> Option<(f64, f64)> {
+        self.ci_half_width().map(|hw| (self.mean(), hw))
+    }
+
+    /// Relative CI half-width (half_width / |mean|); `None` when undefined.
+    pub fn relative_precision(&self) -> Option<f64> {
+        let (m, hw) = self.interval()?;
+        if m.abs() < f64::EPSILON {
+            return None;
+        }
+        Some(hw / m.abs())
+    }
+}
+
+/// Two-sided 95% Student-t critical values; exact for small df, asymptotic
+/// 1.96 beyond the table.
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.96
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_close_at_size() {
+        let mut b = BatchMeans::new(4);
+        for i in 0..10 {
+            b.push(i as f64);
+        }
+        // 10 samples -> 2 complete batches of 4, 2 left over.
+        assert_eq!(b.batches(), 2);
+        // Batch means: (0+1+2+3)/4 = 1.5 and (4+5+6+7)/4 = 5.5.
+        assert!((b.mean() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_requires_two_batches() {
+        let mut b = BatchMeans::new(4);
+        for i in 0..4 {
+            b.push(i as f64);
+        }
+        assert!(b.ci_half_width().is_none());
+        for i in 0..4 {
+            b.push(i as f64);
+        }
+        assert!(b.ci_half_width().is_some());
+    }
+
+    #[test]
+    fn identical_batches_have_zero_width() {
+        let mut b = BatchMeans::new(2);
+        for _ in 0..10 {
+            b.push(7.0);
+        }
+        let (m, hw) = b.interval().unwrap();
+        assert!((m - 7.0).abs() < 1e-12);
+        assert!(hw.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_batches() {
+        // Deterministic pseudo-noise around 10.
+        let noise = |i: u64| ((i.wrapping_mul(2654435761) >> 16) % 1000) as f64 / 1000.0 - 0.5;
+        let mut few = BatchMeans::new(10);
+        let mut many = BatchMeans::new(10);
+        for i in 0..50 {
+            few.push(10.0 + noise(i));
+        }
+        for i in 0..5000 {
+            many.push(10.0 + noise(i));
+        }
+        let hw_few = few.ci_half_width().unwrap();
+        let hw_many = many.ci_half_width().unwrap();
+        assert!(hw_many < hw_few, "{hw_many} !< {hw_few}");
+        assert!(many.relative_precision().unwrap() < 0.01);
+    }
+
+    #[test]
+    fn t_table_spot_checks() {
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(10) - 2.228).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+        assert!(t_critical_95(0).is_infinite());
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal CSV writer (no external dependency) for exporting figure data.
+//!
+//! The bench binaries can dump the exact series they print as CSV so the
+//! figures can be re-plotted with any external tool.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An in-memory CSV document.
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Creates a CSV with the given header row.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells.
+    ///
+    /// # Panics
+    /// If the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a row of floats with full precision.
+    pub fn row_f64(&mut self, cells: &[f64]) -> &mut Self {
+        self.row(cells.iter().map(|x| format!("{x}")).collect::<Vec<_>>())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders RFC-4180-style CSV (quoting cells that need it).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains([',', '"', '\n']) {
+                    let escaped = cell.replace('"', "\"\"");
+                    let _ = write!(out, "\"{escaped}\"");
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the CSV to a file path.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        f.write_all(self.render().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows() {
+        let mut c = Csv::new(vec!["load", "throughput"]);
+        c.row(vec!["0.1", "0.099"]);
+        c.row_f64(&[0.2, 0.197]);
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "load,throughput");
+        assert_eq!(lines[1], "0.1,0.099");
+        assert_eq!(lines[2], "0.2,0.197");
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn quotes_when_needed() {
+        let mut c = Csv::new(vec!["name", "note"]);
+        c.row(vec!["a,b", "say \"hi\""]);
+        let s = c.render();
+        assert!(s.contains("\"a,b\""));
+        assert!(s.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_width_panics() {
+        let mut c = Csv::new(vec!["a", "b"]);
+        c.row(vec!["1"]);
+    }
+
+    #[test]
+    fn writes_to_file() {
+        let path = std::env::temp_dir().join("netstats_csv_test.csv");
+        let mut c = Csv::new(vec!["x"]);
+        c.row(vec!["1"]);
+        c.write_to(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "x\n1\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,163 @@
+//! Decimated time series for regenerating the paper's figures.
+//!
+//! Figure 3 of the paper plots power level and link utilization against
+//! time; [`TimeSeries`] records `(cycle, value)` points with optional
+//! decimation so long runs stay small.
+
+use desim::Cycle;
+
+/// An append-only `(time, value)` series with stride-based decimation.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(Cycle, f64)>,
+    /// Keep one point every `stride` submissions (1 = keep all).
+    stride: u64,
+    submitted: u64,
+}
+
+impl TimeSeries {
+    /// Creates a series that keeps every submitted point.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_stride(name, 1)
+    }
+
+    /// Creates a series that keeps every `stride`-th point.
+    pub fn with_stride(name: impl Into<String>, stride: u64) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+            stride: stride.max(1),
+            submitted: 0,
+        }
+    }
+
+    /// Series name (used as CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Submits a point; it is retained if it falls on the stride.
+    pub fn push(&mut self, time: Cycle, value: f64) {
+        if self.submitted.is_multiple_of(self.stride) {
+            self.points.push((time, value));
+        }
+        self.submitted += 1;
+    }
+
+    /// Retained points, in submission order.
+    pub fn points(&self) -> &[(Cycle, f64)] {
+        &self.points
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total points submitted (before decimation).
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Mean of the retained values.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Last retained point.
+    pub fn last(&self) -> Option<(Cycle, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Downsamples in place to at most `max_points` by uniform thinning.
+    pub fn thin_to(&mut self, max_points: usize) {
+        if max_points == 0 || self.points.len() <= max_points {
+            return;
+        }
+        let keep_every = self.points.len().div_ceil(max_points);
+        let mut kept = Vec::with_capacity(max_points);
+        for (i, p) in self.points.iter().enumerate() {
+            if i % keep_every == 0 {
+                kept.push(*p);
+            }
+        }
+        self.points = kept;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_all_with_stride_one() {
+        let mut s = TimeSeries::new("util");
+        for t in 0..10 {
+            s.push(t, t as f64);
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.submitted(), 10);
+        assert_eq!(s.name(), "util");
+        assert_eq!(s.last(), Some((9, 9.0)));
+    }
+
+    #[test]
+    fn stride_decimates() {
+        let mut s = TimeSeries::with_stride("p", 3);
+        for t in 0..9 {
+            s.push(t, 1.0);
+        }
+        assert_eq!(s.len(), 3);
+        let times: Vec<Cycle> = s.points().iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn mean_of_retained() {
+        let mut s = TimeSeries::new("m");
+        s.push(0, 1.0);
+        s.push(1, 3.0);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn thin_to_bounds_size() {
+        let mut s = TimeSeries::new("t");
+        for t in 0..1000 {
+            s.push(t, t as f64);
+        }
+        s.thin_to(100);
+        assert!(s.len() <= 100);
+        assert_eq!(s.points()[0].0, 0);
+    }
+
+    #[test]
+    fn thin_to_zero_or_larger_is_noop() {
+        let mut s = TimeSeries::new("t");
+        for t in 0..5 {
+            s.push(t, 0.0);
+        }
+        s.thin_to(0);
+        assert_eq!(s.len(), 5);
+        s.thin_to(10);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new("e");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.last(), None);
+    }
+}

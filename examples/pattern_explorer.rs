@@ -1,0 +1,104 @@
+//! Pattern explorer: every built-in traffic pattern through the P-B
+//! network at a fixed load, with the board-pair demand matrix that explains
+//! *why* each pattern stresses (or doesn't stress) the optical stage.
+//!
+//! ```text
+//! cargo run --release --example pattern_explorer
+//! ```
+
+use erapid_suite::desim::rng::Pcg32;
+use erapid_suite::erapid_core::config::{NetworkMode, SystemConfig};
+use erapid_suite::erapid_core::experiment::{default_plan, run_once};
+use erapid_suite::netstats::table::Table;
+use erapid_suite::traffic::pattern::TrafficPattern;
+
+/// Board-pair demand matrix of a pattern on the 64-node system: how many
+/// of board `s`'s nodes send to board `d` (sampled for random patterns).
+fn demand_matrix(pattern: &TrafficPattern, boards: u32, per_board: u32) -> Vec<Vec<u32>> {
+    let n = boards * per_board;
+    let mut m = vec![vec![0u32; boards as usize]; boards as usize];
+    let mut rng = Pcg32::stream(7, 7);
+    for src in 0..n {
+        // One representative destination per node (patterns in the paper
+        // suite are permutations except uniform).
+        let dst = pattern.dest(src, n, &mut rng);
+        m[(src / per_board) as usize][(dst / per_board) as usize] += 1;
+    }
+    m
+}
+
+fn max_offboard(m: &[Vec<u32>]) -> u32 {
+    m.iter()
+        .enumerate()
+        .flat_map(|(s, row)| {
+            row.iter()
+                .enumerate()
+                .filter(move |(d, _)| *d != s)
+                .map(|(_, &v)| v)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let load = 0.5;
+    let patterns: Vec<(&str, TrafficPattern)> = vec![
+        ("uniform", TrafficPattern::Uniform),
+        ("complement", TrafficPattern::Complement),
+        ("butterfly", TrafficPattern::Butterfly),
+        ("perfect_shuffle", TrafficPattern::PerfectShuffle),
+        ("transpose", TrafficPattern::Transpose),
+        ("bit_reversal", TrafficPattern::BitReversal),
+        ("tornado", TrafficPattern::Tornado),
+        ("neighbour", TrafficPattern::Neighbour),
+        (
+            "hotspot",
+            TrafficPattern::Hotspot {
+                fraction: 0.5,
+                exponent: 1.2,
+            },
+        ),
+    ];
+
+    let mut t = Table::new(vec![
+        "pattern",
+        "max board-pair demand",
+        "thr (pkt/n/c)",
+        "lat (cyc)",
+        "power (mW)",
+        "grants",
+    ])
+    .with_title(format!("all patterns, P-B network, load {load}, 64 nodes"));
+    for (name, pattern) in &patterns {
+        let m = demand_matrix(pattern, 8, 8);
+        let cfg = SystemConfig::paper64(NetworkMode::PB);
+        let plan = default_plan(cfg.schedule.window);
+        let r = run_once(cfg, pattern.clone(), load, plan);
+        t.row(vec![
+            name.to_string(),
+            format!("{} nodes", max_offboard(&m)),
+            format!("{:.4}", r.throughput),
+            format!("{:.1}", r.latency),
+            format!("{:.1}", r.power_mw),
+            format!("{}", r.grants),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("The max board-pair demand column is the stress indicator: a");
+    println!("statically-assigned wavelength carries one board pair, so a");
+    println!("pattern concentrating 8 nodes on one pair (complement) needs");
+    println!("8x the static bandwidth — exactly what DBR reassigns. Patterns");
+    println!("with demand ≈ 1 (uniform) leave nothing for DBR to do (grants = 0).");
+
+    println!("\ncomplement demand matrix (nodes from board s to board d):");
+    let m = demand_matrix(&TrafficPattern::Complement, 8, 8);
+    for (s, row) in m.iter().enumerate() {
+        println!(
+            "  B{s}: {}",
+            row.iter()
+                .map(|v| format!("{v:2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Packet-conservation invariants of the full system, including
+//! property-style sweeps over random small configurations: the network
+//! never loses or duplicates a packet, under every mode, pattern and load.
+
+use erapid_suite::desim::phase::PhasePlan;
+use erapid_suite::erapid_core::config::{BurstSpec, NetworkMode, SystemConfig};
+use erapid_suite::erapid_core::system::System;
+use erapid_suite::traffic::pattern::TrafficPattern;
+use proptest::prelude::*;
+
+fn plan() -> PhasePlan {
+    PhasePlan::new(2000, 4000).with_max_cycles(60_000)
+}
+
+/// Runs and checks delivered ≤ injected always, and delivered == injected
+/// once fully drained.
+fn check_conservation(mut sys: System, expect_drain: bool) {
+    sys.run();
+    let m = sys.metrics();
+    assert!(
+        m.delivered_total <= m.injected_total,
+        "delivered {} > injected {}",
+        m.delivered_total,
+        m.injected_total
+    );
+    if expect_drain {
+        // Stop injection and let the network empty completely.
+        let mut extra = 0u64;
+        while !sys.is_drained() && extra < 200_000 {
+            sys.step_without_injection();
+            extra += 1;
+        }
+        assert!(sys.is_drained(), "network failed to drain");
+        let m = sys.metrics();
+        assert_eq!(
+            m.delivered_total, m.injected_total,
+            "drained network must have delivered everything"
+        );
+    }
+}
+
+#[test]
+fn conservation_all_modes_uniform() {
+    for mode in NetworkMode::all() {
+        let cfg = SystemConfig::small(mode);
+        let sys = System::new(cfg, TrafficPattern::Uniform, 0.4, plan());
+        check_conservation(sys, true);
+    }
+}
+
+#[test]
+fn conservation_adversarial_patterns() {
+    for pattern in [
+        TrafficPattern::Complement,
+        TrafficPattern::Butterfly,
+        TrafficPattern::Tornado,
+    ] {
+        let cfg = SystemConfig::small(NetworkMode::PB);
+        let sys = System::new(cfg, pattern, 0.5, plan());
+        check_conservation(sys, true);
+    }
+}
+
+#[test]
+fn conservation_under_saturation() {
+    // Saturated complement on the static network: packets pile up, but
+    // none may vanish or duplicate.
+    let cfg = SystemConfig::small(NetworkMode::NpNb);
+    let sys = System::new(cfg, TrafficPattern::Complement, 0.9, plan());
+    check_conservation(sys, true);
+}
+
+#[test]
+fn conservation_bursty() {
+    let mut cfg = SystemConfig::small(NetworkMode::PB);
+    cfg.burst = Some(BurstSpec {
+        burstiness: 4.0,
+        dwell: 800.0,
+    });
+    let sys = System::new(cfg, TrafficPattern::Uniform, 0.4, plan());
+    check_conservation(sys, true);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random small configurations: no panics, conservation holds.
+    #[test]
+    fn conservation_random_configs(
+        mode_idx in 0usize..4,
+        load in 0.1f64..0.8,
+        seed in 0u64..1_000,
+        window in prop::sample::select(vec![500u64, 1000, 2000]),
+        pattern_idx in 0usize..4,
+    ) {
+        let mode = NetworkMode::all()[mode_idx];
+        let pattern = TrafficPattern::paper_suite()[pattern_idx].1.clone();
+        let mut cfg = SystemConfig::small(mode);
+        cfg.seed = seed;
+        cfg.schedule = erapid_suite::reconfig::lockstep::LockStepSchedule::new(window);
+        let short = PhasePlan::new(window, 2 * window).with_max_cycles(20 * window);
+        let mut sys = System::new(cfg, pattern, load, short);
+        sys.run();
+        let m = sys.metrics();
+        prop_assert!(m.delivered_total <= m.injected_total);
+        // The WDM invariant must hold at the end of any run: each
+        // (destination, wavelength) has at most one lit channel.
+        let srs = sys.srs();
+        for d in 0..4u16 {
+            for w in 1..4u16 {
+                let lit = (0..4u16)
+                    .filter(|&s| s != d && srs.channel(s, d, w).is_on())
+                    .count();
+                prop_assert!(lit <= 1, "WDM collision at (B{d}, λ{w}): {lit} lit");
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across crates.
+
+use erapid_suite::desim::queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
+use erapid_suite::desim::rng::Pcg32;
+use erapid_suite::netstats::histogram::Histogram;
+use erapid_suite::netstats::running::Running;
+use erapid_suite::photonics::rwa::StaticRwa;
+use erapid_suite::photonics::wavelength::{BoardId, Wavelength};
+use erapid_suite::reconfig::alloc::{AllocPolicy, FlowDemand, IncomingLink};
+use erapid_suite::traffic::capacity::CapacityModel;
+use erapid_suite::traffic::pattern::TrafficPattern;
+use proptest::prelude::*;
+
+proptest! {
+    /// The two pending-event-set implementations dequeue identically for
+    /// any interleaving of inserts and pops.
+    #[test]
+    fn queues_agree(ops in prop::collection::vec((0u8..3, 0u64..200), 1..300)) {
+        let mut heap = BinaryHeapQueue::new();
+        let mut cal = CalendarQueue::new(16, 3);
+        let mut now = 0u64;
+        for (i, (op, dt)) in ops.into_iter().enumerate() {
+            if op < 2 {
+                heap.insert(now + dt, i);
+                cal.insert(now + dt, i);
+            } else {
+                let a = heap.pop();
+                let b = cal.pop();
+                prop_assert_eq!(a, b);
+                if let Some((t, _)) = a {
+                    now = now.max(t);
+                }
+            }
+        }
+        // Drain both fully.
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
+    /// Static RWA is a bijection at every destination, for any board count.
+    #[test]
+    fn rwa_bijective(boards in 2u16..32) {
+        let rwa = StaticRwa::new(boards);
+        for d in 0..boards {
+            let mut seen = vec![false; boards as usize];
+            for s in 0..boards {
+                if s == d { continue; }
+                let w = rwa.wavelength(BoardId(s), BoardId(d));
+                prop_assert!(w.0 >= 1 && w.0 < boards);
+                prop_assert!(!seen[w.index()]);
+                seen[w.index()] = true;
+                prop_assert_eq!(rwa.static_owner(BoardId(d), w), BoardId(s));
+            }
+        }
+    }
+
+    /// The allocator never grants a wavelength to its current owner, never
+    /// grants the same wavelength twice, and respects the grant limit.
+    #[test]
+    fn alloc_invariants(
+        utils in prop::collection::vec(0.0f64..1.0, 2..8),
+        demands in prop::collection::vec(0.0f64..1.0, 2..8),
+        limit in 0usize..6,
+    ) {
+        let n = utils.len().min(demands.len());
+        let channels: Vec<IncomingLink> = (0..n).map(|i| IncomingLink {
+            wavelength: Wavelength(i as u16 + 1),
+            owner: BoardId(i as u16),
+            buffer_util: utils[i],
+        }).collect();
+        let flow_demands: Vec<FlowDemand> = (0..n).map(|i| FlowDemand {
+            source: BoardId(i as u16),
+            buffer_util: demands[i],
+        }).collect();
+        let policy = AllocPolicy::paper().with_limit(limit);
+        let grants = policy.reconfigure_with_demands(BoardId(99), &channels, &flow_demands);
+        prop_assert!(grants.len() <= limit);
+        let mut seen = std::collections::HashSet::new();
+        for g in &grants {
+            prop_assert_ne!(g.from, g.to, "self-grant");
+            prop_assert!(seen.insert(g.wavelength), "wavelength granted twice");
+            // The recipient's demand is over-utilized.
+            let demand = flow_demands.iter().find(|d| d.source == g.to).unwrap();
+            prop_assert!(demand.buffer_util > 0.3);
+            // The donor's flow is under-utilized.
+            let donor = flow_demands.iter().find(|d| d.source == g.from).unwrap();
+            prop_assert!(donor.buffer_util <= 0.0);
+        }
+    }
+
+    /// Permutation patterns are bijections on any power-of-two population.
+    #[test]
+    fn patterns_bijective(bits in 2u32..8) {
+        let n = 1u32 << bits;
+        let mut rng = Pcg32::stream(1, 1);
+        for p in [
+            TrafficPattern::Complement,
+            TrafficPattern::Butterfly,
+            TrafficPattern::PerfectShuffle,
+            TrafficPattern::BitReversal,
+            TrafficPattern::Tornado,
+            TrafficPattern::Neighbour,
+        ] {
+            let mut seen = vec![false; n as usize];
+            for src in 0..n {
+                let d = p.dest(src, n, &mut rng);
+                prop_assert!(d < n);
+                prop_assert!(!seen[d as usize], "{} collides", p.name());
+                seen[d as usize] = true;
+            }
+        }
+    }
+
+    /// Histogram quantiles are monotone in q and bracket the recorded data.
+    #[test]
+    fn histogram_quantiles_monotone(samples in prop::collection::vec(0.0f64..1000.0, 1..200)) {
+        let mut h = Histogram::new(128, 10.0);
+        for &s in &samples {
+            h.record(s);
+        }
+        let qs: Vec<f64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+            .iter()
+            .map(|&q| h.quantile(q).unwrap())
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+        // q = 1.0 resolves to a bin upper edge at or above the maximum
+        // sample (or +inf when it overflowed the last bin).
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        let q100 = h.quantile(1.0).unwrap();
+        prop_assert!(q100 >= max || q100.is_infinite(), "q100 {q100} < max {max}");
+    }
+
+    /// Welford merge is order-independent and matches the sequential pass.
+    #[test]
+    fn running_merge_associative(
+        a in prop::collection::vec(-1e3f64..1e3, 0..50),
+        b in prop::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let mut whole = Running::new();
+        for &x in a.iter().chain(&b) { whole.push(x); }
+        let mut ra = Running::new();
+        for &x in &a { ra.push(x); }
+        let mut rb = Running::new();
+        for &x in &b { rb.push(x); }
+        ra.merge(&rb);
+        prop_assert_eq!(ra.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((ra.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((ra.variance() - whole.variance()).abs() < 1e-6);
+        }
+    }
+
+    /// Capacity is positive, below the electrical bound, and monotone in
+    /// optical speed.
+    #[test]
+    fn capacity_sane(boards in 2u32..16, nodes in 1u32..16, flit_cycles in 1u32..20) {
+        let c = CapacityModel {
+            boards,
+            nodes_per_board: nodes,
+            packet_flits: 8,
+            flit_cycles,
+        };
+        let nc = c.uniform_capacity();
+        prop_assert!(nc > 0.0);
+        prop_assert!(nc <= c.electrical_bound() + 1e-12);
+        let faster = CapacityModel { flit_cycles: flit_cycles.max(2) - 1, ..c };
+        prop_assert!(faster.uniform_capacity() >= nc - 1e-12);
+    }
+
+    /// Uniform destinations never pick the source and cover the range.
+    #[test]
+    fn uniform_destination_valid(n in 2u32..200, src_frac in 0.0f64..1.0, seed in 0u64..1000) {
+        let src = ((n as f64 - 1.0) * src_frac) as u32;
+        let mut rng = Pcg32::stream(seed, 0);
+        for _ in 0..50 {
+            let d = TrafficPattern::Uniform.dest(src, n, &mut rng);
+            prop_assert!(d < n);
+            prop_assert_ne!(d, src);
+        }
+    }
+}
