@@ -1,9 +1,11 @@
-//! Criterion benches for the DES engine: pending-event-set implementations
-//! and the RNG streams.
+//! Timing benches for the DES engine: pending-event-set implementations
+//! and the RNG streams. Plain `std::time` harness — see
+//! `erapid_bench::timing` (the workspace builds offline, so no external
+//! bench framework).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use desim::queue::{BinaryHeapQueue, CalendarQueue, EventQueue};
 use desim::rng::Pcg32;
+use erapid_bench::timing::bench;
 use std::hint::black_box;
 
 /// Classic hold model: steady-state queue churn at a fixed population.
@@ -17,53 +19,69 @@ fn hold<Q: EventQueue<u64>>(q: &mut Q, ops: u64) {
     }
 }
 
-fn bench_queues(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue_hold");
+fn bench_queues() {
     for &population in &[64usize, 1024] {
-        g.bench_function(format!("binary_heap/{population}"), |b| {
-            b.iter_batched(
-                || {
-                    let mut q = BinaryHeapQueue::new();
-                    for i in 0..population {
-                        q.insert(i as u64, i as u64);
-                    }
-                    q
-                },
-                |mut q| hold(&mut q, 10_000),
-                BatchSize::SmallInput,
-            )
-        });
-        g.bench_function(format!("calendar/{population}"), |b| {
-            b.iter_batched(
-                || {
-                    let mut q = CalendarQueue::new(256, 4);
-                    for i in 0..population {
-                        q.insert(i as u64, i as u64);
-                    }
-                    q
-                },
-                |mut q| hold(&mut q, 10_000),
-                BatchSize::SmallInput,
-            )
-        });
+        bench(
+            &format!("event_queue_hold/binary_heap/{population}"),
+            20,
+            || {
+                let mut q = BinaryHeapQueue::new();
+                for i in 0..population {
+                    q.insert(i as u64, i as u64);
+                }
+                q
+            },
+            |mut q| {
+                hold(&mut q, 10_000);
+                q.len()
+            },
+        );
+        bench(
+            &format!("event_queue_hold/calendar/{population}"),
+            20,
+            || {
+                let mut q = CalendarQueue::new(256, 4);
+                for i in 0..population {
+                    q.insert(i as u64, i as u64);
+                }
+                q
+            },
+            |mut q| {
+                hold(&mut q, 10_000);
+                q.len()
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("pcg32_below", |b| {
-        let mut rng = Pcg32::stream(7, 7);
-        b.iter(|| black_box(rng.below(black_box(63))))
-    });
-    c.bench_function("pcg32_bernoulli", |b| {
-        let mut rng = Pcg32::stream(7, 8);
-        b.iter(|| black_box(rng.bernoulli(black_box(0.02))))
-    });
+fn bench_rng() {
+    bench(
+        "pcg32_below/1M",
+        20,
+        || Pcg32::stream(7, 7),
+        |mut rng| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.below(black_box(63)) as u64);
+            }
+            acc
+        },
+    );
+    bench(
+        "pcg32_bernoulli/1M",
+        20,
+        || Pcg32::stream(7, 8),
+        |mut rng| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc += rng.bernoulli(black_box(0.02)) as u64;
+            }
+            acc
+        },
+    );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_queues, bench_rng
+fn main() {
+    bench_queues();
+    bench_rng();
 }
-criterion_main!(benches);

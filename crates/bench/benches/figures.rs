@@ -1,38 +1,31 @@
-//! Criterion bench wrapping one representative load point of each figure
-//! panel, so `cargo bench` exercises the same code paths the figure
-//! binaries run (with statistical timing) without the full sweep cost.
+//! Timing bench wrapping one representative load point of each figure
+//! panel, so the bench suite exercises the same code paths the figure
+//! binaries run without the full sweep cost. Plain `std::time` harness —
+//! see `erapid_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use desim::phase::PhasePlan;
+use erapid_bench::timing::bench;
 use erapid_core::config::{NetworkMode, SystemConfig};
 use erapid_core::experiment::run_once;
-use std::hint::black_box;
 use traffic::pattern::TrafficPattern;
 
 fn quick_plan(window: u64) -> PhasePlan {
     PhasePlan::new(window, 2 * window).with_max_cycles(8 * window)
 }
 
-fn bench_panels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figure_points");
-    g.sample_size(10);
+fn main() {
     for (name, pattern) in TrafficPattern::paper_suite() {
         for mode in [NetworkMode::NpNb, NetworkMode::PB] {
-            g.bench_function(format!("{name}/{}/load0.5", mode.name()), |b| {
-                b.iter(|| {
+            bench(
+                &format!("figure_points/{name}/{}/load0.5", mode.name()),
+                10,
+                || (),
+                |()| {
                     let cfg = SystemConfig::paper64(mode);
                     let plan = quick_plan(cfg.schedule.window);
-                    black_box(run_once(cfg, pattern.clone(), 0.5, plan))
-                })
-            });
+                    run_once(cfg, pattern.clone(), 0.5, plan)
+                },
+            );
         }
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_panels
-}
-criterion_main!(benches);

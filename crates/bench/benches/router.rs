@@ -1,6 +1,7 @@
-//! Criterion bench: sustained flit throughput of one IBI router.
+//! Timing bench: sustained flit throughput of one IBI router. Plain
+//! `std::time` harness — see `erapid_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use erapid_bench::timing::bench;
 use router::flit::{NodeId, PacketId};
 use router::packet::Packet;
 use router::routing::{PortId, TableRoute};
@@ -51,26 +52,16 @@ fn drive(router: &mut Router, cycles: u64, ports: u16) {
     }
 }
 
-fn bench_router(c: &mut Criterion) {
-    let mut g = c.benchmark_group("router_step");
+fn main() {
     for &ports in &[8u16, 16] {
-        g.bench_function(format!("{ports}x{ports}_1kcycles"), |b| {
-            b.iter_batched(
-                || make_router(ports),
-                |mut r| {
-                    drive(&mut r, 1000, ports);
-                    black_box(r.stats().traversed)
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        bench(
+            &format!("router_step/{ports}x{ports}_1kcycles"),
+            15,
+            || make_router(ports),
+            |mut r| {
+                drive(&mut r, 1000, ports);
+                r.stats().traversed
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_router
-}
-criterion_main!(benches);

@@ -1,55 +1,50 @@
-//! Criterion bench: full 64-node E-RAPID system simulation rate
-//! (cycles/second of simulated time), per network mode.
+//! Timing bench: full 64-node E-RAPID system simulation rate
+//! (cycles/second of simulated time), per network mode. Plain `std::time`
+//! harness — see `erapid_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use desim::phase::PhasePlan;
+use erapid_bench::timing::bench;
 use erapid_core::config::{NetworkMode, SystemConfig};
 use erapid_core::system::System;
 use std::hint::black_box;
 use traffic::pattern::TrafficPattern;
 
-fn bench_system(c: &mut Criterion) {
-    let mut g = c.benchmark_group("system_64node_2kcycles");
+fn main() {
     for mode in NetworkMode::all() {
-        g.bench_function(mode.name(), |b| {
-            b.iter_batched(
-                || {
-                    System::new(
-                        SystemConfig::paper64(mode),
-                        TrafficPattern::Uniform,
-                        0.5,
-                        PhasePlan::new(1000, 1000),
-                    )
-                },
-                |mut sys| {
-                    for _ in 0..2000 {
-                        sys.step();
-                    }
-                    black_box(sys.metrics().injected_total)
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        let t = bench(
+            &format!("system_64node_2kcycles/{}", mode.name()),
+            10,
+            || {
+                System::new(
+                    SystemConfig::paper64(mode),
+                    TrafficPattern::Uniform,
+                    0.5,
+                    PhasePlan::new(1000, 1000),
+                )
+            },
+            |mut sys| {
+                for _ in 0..2000 {
+                    sys.step();
+                }
+                sys.metrics().injected_total
+            },
+        );
+        println!(
+            "    -> {:.0} sim cycles/sec",
+            2000.0 / t.median_secs().max(1e-12)
+        );
     }
-    g.finish();
-}
-
-fn bench_construction(c: &mut Criterion) {
-    c.bench_function("system_construction_64node", |b| {
-        b.iter(|| {
+    bench(
+        "system_construction_64node",
+        10,
+        || (),
+        |()| {
             black_box(System::new(
                 SystemConfig::paper64(NetworkMode::PB),
                 TrafficPattern::Uniform,
                 0.5,
                 PhasePlan::new(1000, 1000),
             ))
-        })
-    });
+        },
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_system, bench_construction
-}
-criterion_main!(benches);

@@ -12,16 +12,22 @@
 //! 4. **Transition-penalty model** — the conservative 65-cycle disable vs
 //!    the detailed 12-cycle CDR-only model.
 //!
+//! Each table's points are independent runs, so they fan out over the
+//! worker pool (`ERAPID_THREADS`).
+//!
 //! ```text
 //! cargo run --release -p erapid-bench --bin ablation
 //! ```
 
+use erapid_bench::BenchConfig;
 use erapid_core::config::{NetworkMode, SystemConfig};
-use erapid_core::experiment::{default_plan, run_once};
+use erapid_core::experiment::default_plan;
+use erapid_core::runner::{run_points, RunPoint};
 use netstats::table::Table;
 use photonics::bitrate::RateLadder;
 use photonics::power::LinkPowerModel;
 use powermgmt::transition::TransitionModel;
+use std::num::NonZeroUsize;
 use traffic::pattern::TrafficPattern;
 
 fn fmt_run(r: &erapid_core::experiment::RunResult) -> Vec<String> {
@@ -34,132 +40,206 @@ fn fmt_run(r: &erapid_core::experiment::RunResult) -> Vec<String> {
     ]
 }
 
+/// Runs one ablation table: labelled configurations, all at one (pattern,
+/// load), executed in parallel, printed in input order.
+fn table(
+    threads: NonZeroUsize,
+    mut t: Table,
+    rows: Vec<(String, SystemConfig)>,
+    pattern: TrafficPattern,
+    load: f64,
+) {
+    let labels: Vec<String> = rows.iter().map(|(l, _)| l.clone()).collect();
+    let points: Vec<RunPoint> = rows
+        .into_iter()
+        .map(|(_, cfg)| {
+            let plan = default_plan(cfg.schedule.window);
+            RunPoint {
+                cfg,
+                pattern: pattern.clone(),
+                load,
+                plan,
+            }
+        })
+        .collect();
+    let results = run_points(threads, points);
+    for (label, r) in labels.into_iter().zip(&results) {
+        let mut row = vec![label];
+        row.extend(fmt_run(r));
+        t.row(row);
+    }
+    println!("{}", t.render());
+}
+
 fn main() {
+    let bench = BenchConfig::from_env();
+    let threads = bench.threads;
     let load = 0.5;
 
     // 1. R_w sensitivity (P-B, complement: both control planes exercised).
-    let mut t = Table::new(vec!["R_w", "thr", "lat", "power", "retunes", "grants"])
-        .with_title(format!(
+    table(
+        threads,
+        Table::new(vec!["R_w", "thr", "lat", "power", "retunes", "grants"]).with_title(format!(
             "Ablation 1: reconfiguration window (P-B, complement, load {load})"
-        ));
-    for window in [500u64, 1000, 2000, 4000, 8000] {
-        let mut cfg = SystemConfig::paper64(NetworkMode::PB);
-        cfg.schedule = reconfig::lockstep::LockStepSchedule::new(window);
-        let plan = default_plan(cfg.schedule.window);
-        let r = run_once(cfg, TrafficPattern::Complement, load, plan);
-        let mut row = vec![format!("{window}")];
-        row.extend(fmt_run(&r));
-        t.row(row);
-    }
-    println!("{}", t.render());
+        )),
+        [500u64, 1000, 2000, 4000, 8000]
+            .iter()
+            .map(|&window| {
+                let mut cfg = SystemConfig::paper64(NetworkMode::PB);
+                cfg.schedule = reconfig::lockstep::LockStepSchedule::new(window);
+                (format!("{window}"), cfg)
+            })
+            .collect(),
+        TrafficPattern::Complement,
+        load,
+    );
 
     // 2. Power-level count (P-NB, uniform at a mid load where DPM matters).
-    let mut t = Table::new(vec!["levels", "thr", "lat", "power", "retunes", "grants"])
-        .with_title(format!(
+    table(
+        threads,
+        Table::new(vec!["levels", "thr", "lat", "power", "retunes", "grants"]).with_title(format!(
             "Ablation 2: number of power levels (P-NB, uniform, load {load})"
-        ));
-    for levels in [2usize, 3, 4, 6] {
-        let mut cfg = SystemConfig::paper64(NetworkMode::PNb);
-        let ladder = RateLadder::interpolated(levels);
-        cfg.power_model = LinkPowerModel::analytic(ladder.clone());
-        cfg.ladder = ladder;
-        let plan = default_plan(cfg.schedule.window);
-        let r = run_once(cfg, TrafficPattern::Uniform, load, plan);
-        let mut row = vec![format!("{levels}")];
-        row.extend(fmt_run(&r));
-        t.row(row);
-    }
-    println!("{}", t.render());
+        )),
+        [2usize, 3, 4, 6]
+            .iter()
+            .map(|&levels| {
+                let mut cfg = SystemConfig::paper64(NetworkMode::PNb);
+                let ladder = RateLadder::interpolated(levels);
+                cfg.power_model = LinkPowerModel::analytic(ladder.clone());
+                cfg.ladder = ladder;
+                (format!("{levels}"), cfg)
+            })
+            .collect(),
+        TrafficPattern::Uniform,
+        load,
+    );
 
     // 3. Limited reconfigurability (NP-B, complement).
-    let mut t = Table::new(vec!["max grants/window", "thr", "lat", "power", "retunes", "grants"])
+    table(
+        threads,
+        Table::new(vec![
+            "max grants/window",
+            "thr",
+            "lat",
+            "power",
+            "retunes",
+            "grants",
+        ])
         .with_title(format!(
             "Ablation 3: limited reconfigurability (NP-B, complement, load {load})"
-        ));
-    for limit in [0usize, 1, 2, 4, usize::MAX] {
-        let mut cfg = SystemConfig::paper64(NetworkMode::NpB);
-        cfg.alloc = cfg.alloc.with_limit(limit);
-        let plan = default_plan(cfg.schedule.window);
-        let r = run_once(cfg, TrafficPattern::Complement, load, plan);
-        let label = if limit == usize::MAX {
-            "unlimited".to_string()
-        } else {
-            format!("{limit}")
-        };
-        let mut row = vec![label];
-        row.extend(fmt_run(&r));
-        t.row(row);
-    }
-    println!("{}", t.render());
+        )),
+        [0usize, 1, 2, 4, usize::MAX]
+            .iter()
+            .map(|&limit| {
+                let mut cfg = SystemConfig::paper64(NetworkMode::NpB);
+                cfg.alloc = cfg.alloc.with_limit(limit);
+                let label = if limit == usize::MAX {
+                    "unlimited".to_string()
+                } else {
+                    format!("{limit}")
+                };
+                (label, cfg)
+            })
+            .collect(),
+        TrafficPattern::Complement,
+        load,
+    );
 
     // 5. R_w under bursty traffic — where the window actually matters:
     //    "the reconfiguration algorithm [must be] responsive to transient
     //    traffic changes" (§3). Bursty on/off sources with ~4000-cycle
     //    dwell; a window much larger than the burst misses it entirely.
-    let mut t = Table::new(vec!["R_w", "thr", "lat", "power", "retunes", "grants"])
-        .with_title(format!(
+    table(
+        threads,
+        Table::new(vec!["R_w", "thr", "lat", "power", "retunes", "grants"]).with_title(format!(
             "Ablation 5: R_w under bursty complement traffic (P-B, load {load}, burstiness 4x, dwell 4000)"
-        ));
-    for window in [500u64, 1000, 2000, 4000, 8000] {
-        let mut cfg = SystemConfig::paper64(NetworkMode::PB);
-        cfg.schedule = reconfig::lockstep::LockStepSchedule::new(window);
-        cfg.burst = Some(erapid_core::config::BurstSpec {
-            burstiness: 4.0,
-            dwell: 4000.0,
-        });
-        let plan = default_plan(cfg.schedule.window);
-        let r = run_once(cfg, TrafficPattern::Complement, load, plan);
-        let mut row = vec![format!("{window}")];
-        row.extend(fmt_run(&r));
-        t.row(row);
-    }
-    println!("{}", t.render());
+        )),
+        [500u64, 1000, 2000, 4000, 8000]
+            .iter()
+            .map(|&window| {
+                let mut cfg = SystemConfig::paper64(NetworkMode::PB);
+                cfg.schedule = reconfig::lockstep::LockStepSchedule::new(window);
+                cfg.burst = Some(erapid_core::config::BurstSpec {
+                    burstiness: 4.0,
+                    dwell: 4000.0,
+                });
+                (format!("{window}"), cfg)
+            })
+            .collect(),
+        TrafficPattern::Complement,
+        load,
+    );
 
     // 4. Transition-penalty model (P-B, uniform).
-    let mut t = Table::new(vec!["model", "thr", "lat", "power", "retunes", "grants"])
-        .with_title(format!(
+    table(
+        threads,
+        Table::new(vec!["model", "thr", "lat", "power", "retunes", "grants"]).with_title(format!(
             "Ablation 4: transition penalty (P-B, uniform, load {load})"
-        ));
-    for (name, model) in [
-        ("conservative 65cy", TransitionModel::paper()),
-        ("CDR-only 12cy", TransitionModel::detailed()),
-    ] {
-        let mut cfg = SystemConfig::paper64(NetworkMode::PB);
-        cfg.transition = model;
-        let plan = default_plan(cfg.schedule.window);
-        let r = run_once(cfg, TrafficPattern::Uniform, load, plan);
-        let mut row = vec![name.to_string()];
-        row.extend(fmt_run(&r));
-        t.row(row);
-    }
-    println!("{}", t.render());
+        )),
+        [
+            ("conservative 65cy", TransitionModel::paper()),
+            ("CDR-only 12cy", TransitionModel::detailed()),
+        ]
+        .into_iter()
+        .map(|(name, model)| {
+            let mut cfg = SystemConfig::paper64(NetworkMode::PB);
+            cfg.transition = model;
+            (name.to_string(), cfg)
+        })
+        .collect(),
+        TrafficPattern::Uniform,
+        load,
+    );
 
     // 7. DBR classification threshold B_max: the paper asserts "setting
     //    the B_max to 0.3 is fairly reasonable for most traffic scenarios"
     //    (§3.2) — sweep it on a pattern with *partial* concentration
     //    (butterfly) where the classification boundary actually matters.
-    let mut t = Table::new(vec!["B_max", "thr", "lat", "power", "retunes", "grants"])
-        .with_title(format!(
+    table(
+        threads,
+        Table::new(vec!["B_max", "thr", "lat", "power", "retunes", "grants"]).with_title(format!(
             "Ablation 7: DBR over-utilization threshold (NP-B, butterfly, load {load})"
-        ));
-    for b_max in [0.05, 0.1, 0.3, 0.5, 0.8] {
-        let mut cfg = SystemConfig::paper64(NetworkMode::NpB);
-        cfg.alloc = reconfig::alloc::AllocPolicy {
-            b_min: 0.0,
-            b_max,
-            max_reassignments: usize::MAX,
-        };
-        let plan = default_plan(cfg.schedule.window);
-        let r = run_once(cfg, TrafficPattern::Butterfly, load, plan);
-        let mut row = vec![format!("{b_max}")];
-        row.extend(fmt_run(&r));
-        t.row(row);
-    }
-    println!("{}", t.render());
+        )),
+        [0.05, 0.1, 0.3, 0.5, 0.8]
+            .iter()
+            .map(|&b_max| {
+                let mut cfg = SystemConfig::paper64(NetworkMode::NpB);
+                cfg.alloc = reconfig::alloc::AllocPolicy {
+                    b_min: 0.0,
+                    b_max,
+                    max_reassignments: usize::MAX,
+                };
+                (format!("{b_max}"), cfg)
+            })
+            .collect(),
+        TrafficPattern::Butterfly,
+        load,
+    );
 
     // 6. Idle-laser power fraction: the one free parameter of the power
     //    accounting (DESIGN.md §5). The paper's complement observation
     //    (NP-NB ≡ P-NB power) only holds when idle lasers are nearly free.
+    let fracs = [0.0, 0.05, 0.15, 0.30];
+    let points: Vec<RunPoint> = fracs
+        .iter()
+        .flat_map(|&frac| {
+            [NetworkMode::NpNb, NetworkMode::PNb]
+                .into_iter()
+                .map(move |mode| {
+                    let mut cfg = SystemConfig::paper64(mode);
+                    cfg.power_model =
+                        photonics::power::LinkPowerModel::paper_table().with_idle_fraction(frac);
+                    let plan = default_plan(cfg.schedule.window);
+                    RunPoint {
+                        cfg,
+                        pattern: TrafficPattern::Complement,
+                        load,
+                        plan,
+                    }
+                })
+        })
+        .collect();
+    let results = run_points(threads, points);
     let mut t = Table::new(vec![
         "idle fraction",
         "NP-NB power (complement)",
@@ -169,21 +249,14 @@ fn main() {
     .with_title(format!(
         "Ablation 6: idle-laser power fraction (complement, load {load})"
     ));
-    for frac in [0.0, 0.05, 0.15, 0.30] {
-        let mut power = Vec::new();
-        for mode in [NetworkMode::NpNb, NetworkMode::PNb] {
-            let mut cfg = SystemConfig::paper64(mode);
-            cfg.power_model =
-                photonics::power::LinkPowerModel::paper_table().with_idle_fraction(frac);
-            let plan = default_plan(cfg.schedule.window);
-            let r = run_once(cfg, TrafficPattern::Complement, load, plan);
-            power.push(r.power_mw);
-        }
+    for (i, &frac) in fracs.iter().enumerate() {
+        let base = results[2 * i].power_mw;
+        let pnb = results[2 * i + 1].power_mw;
         t.row(vec![
             format!("{frac:.2}"),
-            format!("{:.1}", power[0]),
-            format!("{:.1}", power[1]),
-            format!("{:.2}", power[1] / power[0]),
+            format!("{base:.1}"),
+            format!("{pnb:.1}"),
+            format!("{:.2}", pnb / base),
         ]);
     }
     println!("{}", t.render());

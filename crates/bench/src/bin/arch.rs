@@ -23,9 +23,8 @@ fn main() {
     println!("=== Figure 1: static RWA for an R(1,{boards},{boards}) system ===\n");
     let mut headers = vec!["src \\ dst".to_string()];
     headers.extend((0..boards).map(|d| format!("B{d}")));
-    let mut t = Table::new(headers).with_title(
-        "wavelength λ_w used from source board (row) to destination board (column)",
-    );
+    let mut t = Table::new(headers)
+        .with_title("wavelength λ_w used from source board (row) to destination board (column)");
     for s in 0..boards {
         let mut row = vec![format!("B{s}")];
         for d in 0..boards {
@@ -52,14 +51,21 @@ fn main() {
         let tx = bank.transmitter(photonics::wavelength::Wavelength(w));
         let mut row = vec![format!("λ{w}")];
         for d in 0..boards {
-            row.push(if tx.is_on(BoardId(d)) { "ON".into() } else { "·".to_string() });
+            row.push(if tx.is_on(BoardId(d)) {
+                "ON".into()
+            } else {
+                "·".to_string()
+            });
         }
         t.row(row);
     }
     println!("{}", t.render());
     println!("Static assignment lights exactly one laser per remote destination");
-    println!("({} of {} lasers on). Reconfiguration = flipping these bits: any",
-        bank.active_lasers(), boards as usize * boards as usize);
+    println!(
+        "({} of {} lasers on). Reconfiguration = flipping these bits: any",
+        bank.active_lasers(),
+        boards as usize * boards as usize
+    );
     println!("transmitter can light its λ toward any coupler, so a destination");
     println!("can receive on several wavelengths from one source board at once.");
 

@@ -1,20 +1,23 @@
 //! Electrical-baseline comparison (§4.1: "The performance of E-RAPID was
 //! compared to other electrical networks"): the same 64 nodes and offered
 //! traffic through an 8×8 electrical mesh of the identical VC routers vs
-//! the E-RAPID P-B optical interconnect.
+//! the E-RAPID P-B optical interconnect. Each load's (E-RAPID, mesh) pair
+//! runs as one job on the worker pool (`ERAPID_THREADS`).
 //!
 //! ```text
 //! cargo run --release -p erapid-bench --bin baseline
 //! ```
 
 use emesh::{run_mesh, MeshConfig};
-use erapid_bench::load_axis;
+use erapid_bench::BenchConfig;
 use erapid_core::config::{NetworkMode, SystemConfig};
 use erapid_core::experiment::{default_plan, run_once};
+use erapid_core::runner::parallel_map;
 use netstats::table::Table;
 use traffic::pattern::TrafficPattern;
 
 fn main() {
+    let bench = BenchConfig::from_env();
     println!("=== E-RAPID (P-B) vs 8x8 electrical mesh, 64 nodes ===\n");
     for (name, pattern) in [
         ("uniform", TrafficPattern::Uniform),
@@ -33,13 +36,13 @@ fn main() {
         .with_title(format!(
             "{name}: identical offered traffic (load normalised to E-RAPID N_c)"
         ));
-        for &load in &load_axis() {
+        let rows = parallel_map(bench.threads, bench.load_axis(), |load| {
             let cfg = SystemConfig::paper64(NetworkMode::PB);
             let rate = cfg.capacity().injection_rate(load);
             let plan = default_plan(cfg.schedule.window);
             let er = run_once(cfg, pattern.clone(), load, plan);
             let mesh = run_mesh(MeshConfig::paper64(), pattern.clone(), rate, plan);
-            t.row(vec![
+            vec![
                 format!("{load:.1}"),
                 format!("{rate:.5}"),
                 format!("{:.4}", er.throughput),
@@ -48,7 +51,10 @@ fn main() {
                 format!("{:.4}", mesh.throughput),
                 format!("{:.1}", mesh.latency),
                 format!("{:.1}", mesh.power_mw),
-            ]);
+            ]
+        });
+        for row in rows {
+            t.row(row);
         }
         println!("{}", t.render());
     }

@@ -62,7 +62,13 @@ fn main() {
         .collect();
 
     let mut table = Table::new(vec![
-        "window", "util", "buf", "NP-NB (mW)", "P-NB (mW)", "NP-B (mW)", "P-B (mW)",
+        "window",
+        "util",
+        "buf",
+        "NP-NB (mW)",
+        "P-NB (mW)",
+        "NP-B (mW)",
+        "P-B (mW)",
     ])
     .with_title("Per-window link power under a low→mid→high→low load profile");
     let mut csv = Csv::new(vec![
@@ -114,7 +120,9 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    let path = erapid_bench::results_dir().join("fig3.csv");
+    let path = erapid_bench::BenchConfig::from_env()
+        .results_dir()
+        .join("fig3.csv");
     match csv.write_to(&path) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),

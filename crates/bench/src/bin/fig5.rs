@@ -6,19 +6,21 @@
 //! ```text
 //! cargo run --release -p erapid-bench --bin fig5
 //! ERAPID_QUICK=1 cargo run --release -p erapid-bench --bin fig5   # smoke run
+//! ERAPID_THREADS=1 cargo run --release -p erapid-bench --bin fig5 # sequential
 //! ```
 
-use erapid_bench::{print_charts, print_panel, print_ratios, run_panel};
+use erapid_bench::{print_charts, print_panel, print_ratios, BenchConfig};
 use traffic::pattern::TrafficPattern;
 
 fn main() {
+    let cfg = BenchConfig::from_env();
     println!("=== Figure 5: 64-node E-RAPID, uniform & complement ===\n");
     for (name, pattern) in [
         ("uniform", TrafficPattern::Uniform),
         ("complement", TrafficPattern::Complement),
     ] {
-        let panel = run_panel(name, &pattern);
-        print_panel(&panel);
+        let panel = cfg.run_panel(name, &pattern);
+        print_panel(&cfg, &panel);
         print_charts(&panel);
         print_ratios(&panel);
     }

@@ -6,17 +6,18 @@
 //! cargo run --release -p erapid-bench --bin fig6
 //! ```
 
-use erapid_bench::{print_charts, print_panel, print_ratios, run_panel};
+use erapid_bench::{print_charts, print_panel, print_ratios, BenchConfig};
 use traffic::pattern::TrafficPattern;
 
 fn main() {
+    let cfg = BenchConfig::from_env();
     println!("=== Figure 6: 64-node E-RAPID, butterfly & perfect shuffle ===\n");
     for (name, pattern) in [
         ("butterfly", TrafficPattern::Butterfly),
         ("perfect_shuffle", TrafficPattern::PerfectShuffle),
     ] {
-        let panel = run_panel(name, &pattern);
-        print_panel(&panel);
+        let panel = cfg.run_panel(name, &pattern);
+        print_panel(&cfg, &panel);
         print_charts(&panel);
         print_ratios(&panel);
     }

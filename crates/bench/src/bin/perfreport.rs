@@ -1,0 +1,162 @@
+//! Performance report: times a fixed reference workload sequentially and
+//! in parallel, proves the two byte-identical, and writes the numbers to
+//! `BENCH_<git-sha>.json` so perf changes are comparable across commits.
+//!
+//! Reference workload: the paper's 64-node system, uniform + complement
+//! panels (4 modes × 3 loads each, default phase plan, default seed).
+//!
+//! ```text
+//! cargo run --release -p erapid-bench --bin perfreport
+//! ERAPID_THREADS=4 cargo run --release -p erapid-bench --bin perfreport
+//! ```
+
+use erapid_bench::BenchConfig;
+use erapid_core::config::{NetworkMode, SystemConfig};
+use erapid_core::experiment::default_plan;
+use erapid_core::runner::{run_points, RunPoint};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+use traffic::pattern::TrafficPattern;
+
+/// Short commit hash, read straight from `.git` (works offline, no git
+/// binary needed). "unknown" outside a checkout.
+fn git_sha() -> String {
+    let head = std::fs::read_to_string(".git/HEAD").unwrap_or_default();
+    let head = head.trim();
+    let full = if let Some(refname) = head.strip_prefix("ref: ") {
+        let refname = refname.trim();
+        std::fs::read_to_string(format!(".git/{refname}"))
+            .map(|s| s.trim().to_string())
+            .ok()
+            .filter(|s| !s.is_empty())
+            .or_else(|| {
+                let packed = std::fs::read_to_string(".git/packed-refs").ok()?;
+                packed.lines().find_map(|l| {
+                    let (sha, name) = l.split_once(' ')?;
+                    (name == refname).then(|| sha.to_string())
+                })
+            })
+            .unwrap_or_default()
+    } else {
+        head.to_string()
+    };
+    if full.is_empty() {
+        "unknown".to_string()
+    } else {
+        full[..full.len().min(12)].to_string()
+    }
+}
+
+/// Peak resident set size in kB (`VmHWM` from /proc, Linux only; 0
+/// elsewhere).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct PanelReport {
+    name: &'static str,
+    sequential_s: f64,
+    parallel_s: f64,
+    sim_cycles: u64,
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let one = NonZeroUsize::new(1).unwrap();
+    let loads = [0.2f64, 0.5, 0.8];
+    let patterns = [
+        ("uniform", TrafficPattern::Uniform),
+        ("complement", TrafficPattern::Complement),
+    ];
+    let sha = git_sha();
+    println!(
+        "=== perfreport @ {sha}: paper64, {} patterns x 4 modes x {} loads, {} threads ===\n",
+        patterns.len(),
+        loads.len(),
+        cfg.threads
+    );
+
+    let mut panels: Vec<PanelReport> = Vec::new();
+    for (name, pattern) in &patterns {
+        let points: Vec<RunPoint> = NetworkMode::all()
+            .iter()
+            .flat_map(|&mode| loads.iter().map(move |&l| (mode, l)))
+            .map(|(mode, load)| {
+                let cfg = SystemConfig::paper64(mode);
+                let plan = default_plan(cfg.schedule.window);
+                RunPoint {
+                    cfg,
+                    pattern: pattern.clone(),
+                    load,
+                    plan,
+                }
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        let seq = run_points(one, points.clone());
+        let sequential_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let par = run_points(cfg.threads, points);
+        let parallel_s = t1.elapsed().as_secs_f64();
+
+        assert_eq!(
+            seq, par,
+            "parallel results diverged from sequential for {name}"
+        );
+        let sim_cycles: u64 = seq.iter().map(|r| r.cycles).sum();
+        println!(
+            "  {name:<12} sequential {sequential_s:>7.2}s   parallel {parallel_s:>7.2}s   \
+             ({sim_cycles} simulated cycles, results identical)"
+        );
+        panels.push(PanelReport {
+            name,
+            sequential_s,
+            parallel_s,
+            sim_cycles,
+        });
+    }
+
+    let seq_total: f64 = panels.iter().map(|p| p.sequential_s).sum();
+    let par_total: f64 = panels.iter().map(|p| p.parallel_s).sum();
+    let cycles_total: u64 = panels.iter().map(|p| p.sim_cycles).sum();
+    let speedup = seq_total / par_total.max(1e-9);
+    let cps_single = cycles_total as f64 / seq_total.max(1e-9);
+    let cps_parallel = cycles_total as f64 / par_total.max(1e-9);
+    let rss = peak_rss_kb();
+
+    println!();
+    println!("  totals: sequential {seq_total:.2}s, parallel {par_total:.2}s  ->  {speedup:.2}x on {} threads", cfg.threads);
+    println!("  single-thread rate: {cps_single:.0} sim cycles/sec (per-run hot path)");
+    println!("  parallel rate:      {cps_parallel:.0} sim cycles/sec");
+    println!("  peak RSS: {rss} kB");
+
+    let panel_json: Vec<String> = panels
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"pattern\": \"{}\", \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \"sim_cycles\": {}}}",
+                p.name, p.sequential_s, p.parallel_s, p.sim_cycles
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"git_sha\": \"{sha}\",\n  \"threads\": {threads},\n  \"workload\": {{\"system\": \"paper64\", \"modes\": 4, \"patterns\": [\"uniform\", \"complement\"], \"loads\": [0.2, 0.5, 0.8]}},\n  \"panels\": [\n{panels}\n  ],\n  \"totals\": {{\n    \"sequential_s\": {seq_total:.6},\n    \"parallel_s\": {par_total:.6},\n    \"speedup\": {speedup:.3},\n    \"sim_cycles\": {cycles_total},\n    \"cycles_per_sec_single\": {cps_single:.0},\n    \"cycles_per_sec_parallel\": {cps_parallel:.0}\n  }},\n  \"peak_rss_kb\": {rss},\n  \"parallel_identical\": true\n}}\n",
+        threads = cfg.threads,
+        panels = panel_json.join(",\n"),
+    );
+    let path = format!("BENCH_{sha}.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

@@ -7,12 +7,19 @@
 //! P-B) re-acquires bandwidth at the next Lock-Step bandwidth cycle via
 //! the orphaned flow's queue demand.
 //!
+//! The four mode runs are independent, so they fan out over the worker
+//! pool (`ERAPID_THREADS`) via [`erapid_core::runner::parallel_map`] —
+//! this bin drives the `System` by hand (fault injection mid-run), so it
+//! cannot use the plain `RunPoint` path.
+//!
 //! ```text
 //! cargo run --release -p erapid-bench --bin resilience
 //! ```
 
 use desim::phase::PhasePlan;
+use erapid_bench::BenchConfig;
 use erapid_core::config::{NetworkMode, SystemConfig};
+use erapid_core::runner::parallel_map;
 use erapid_core::system::System;
 use netstats::table::Table;
 use photonics::rwa::StaticRwa;
@@ -20,22 +27,15 @@ use photonics::wavelength::BoardId;
 use traffic::pattern::TrafficPattern;
 
 fn main() {
+    let bench = BenchConfig::from_env();
     let load = 0.5;
     let fault_at = 10_000;
     let plan = PhasePlan::new(8_000, 16_000).with_max_cycles(120_000);
 
-    println!("=== receiver failure at t={fault_at}: flow board0 → board7, complement, load {load} ===\n");
-    let mut t = Table::new(vec![
-        "mode",
-        "thr (pkt/n/c)",
-        "latency",
-        "undrained",
-        "grants",
-        "lasers on (end)",
-        "verdict",
-    ])
-    .with_title("64-node E-RAPID, hot flow's static wavelength killed mid-run");
-    for mode in NetworkMode::all() {
+    println!(
+        "=== receiver failure at t={fault_at}: flow board0 → board7, complement, load {load} ===\n"
+    );
+    let rows = parallel_map(bench.threads, NetworkMode::all().to_vec(), |mode| {
         let cfg = SystemConfig::paper64(mode);
         let rwa = StaticRwa::new(cfg.boards);
         let w = rwa.wavelength(BoardId(0), BoardId(7)).0;
@@ -52,7 +52,7 @@ fn main() {
         } else {
             "flow starved"
         };
-        t.row(vec![
+        vec![
             mode.name().to_string(),
             format!("{:.4}", m.throughput_ppc()),
             format!("{:.0}", m.mean_latency()),
@@ -60,7 +60,20 @@ fn main() {
             format!("{grants}"),
             format!("{}", sys.srs().lasers_on()),
             verdict.to_string(),
-        ]);
+        ]
+    });
+    let mut t = Table::new(vec![
+        "mode",
+        "thr (pkt/n/c)",
+        "latency",
+        "undrained",
+        "grants",
+        "lasers on (end)",
+        "verdict",
+    ])
+    .with_title("64-node E-RAPID, hot flow's static wavelength killed mid-run");
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
     println!("Reading: without DBR the dead wavelength takes board 0's entire");

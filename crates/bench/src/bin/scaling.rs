@@ -7,14 +7,16 @@
 //! Sweeps B ∈ {4, 8, 16} boards (D = 8 nodes each), complement traffic
 //! (DBR's best case) and uniform (its no-op case), comparing NP-NB and
 //! P-B, and reporting the five-stage protocol latency as a fraction of
-//! `R_w`.
+//! `R_w`. All 12 runs fan out over the worker pool (`ERAPID_THREADS`).
 //!
 //! ```text
 //! cargo run --release -p erapid-bench --bin scaling
 //! ```
 
+use erapid_bench::BenchConfig;
 use erapid_core::config::{NetworkMode, SystemConfig};
-use erapid_core::experiment::{default_plan, run_once};
+use erapid_core::experiment::default_plan;
+use erapid_core::runner::{run_points, RunPoint};
 use netstats::table::Table;
 use reconfig::stages::ProtocolTiming;
 use traffic::pattern::TrafficPattern;
@@ -31,9 +33,41 @@ fn config(boards: u16, mode: NetworkMode) -> SystemConfig {
     cfg
 }
 
+fn point(boards: u16, mode: NetworkMode, pattern: &TrafficPattern, load: f64) -> RunPoint {
+    let cfg = config(boards, mode);
+    let plan = default_plan(cfg.schedule.window);
+    RunPoint {
+        cfg,
+        pattern: pattern.clone(),
+        load,
+        plan,
+    }
+}
+
 fn main() {
+    let bench = BenchConfig::from_env();
     let load = 0.6;
     println!("=== scaling with board count (D = 8, load {load}) ===\n");
+
+    // One (NP-NB, P-B) pair per (boards, pattern) row, flattened in row
+    // order so the parallel results zip straight back onto the table.
+    let grid: Vec<(u16, TrafficPattern)> = [4u16, 8, 16]
+        .iter()
+        .flat_map(|&b| {
+            [TrafficPattern::Complement, TrafficPattern::Uniform]
+                .into_iter()
+                .map(move |p| (b, p))
+        })
+        .collect();
+    let points: Vec<RunPoint> = grid
+        .iter()
+        .flat_map(|(boards, pattern)| {
+            [NetworkMode::NpNb, NetworkMode::PB]
+                .into_iter()
+                .map(|mode| point(*boards, mode, pattern, load))
+        })
+        .collect();
+    let results = run_points(bench.threads, points);
 
     let mut t = Table::new(vec![
         "boards",
@@ -49,31 +83,23 @@ fn main() {
         "of R_w",
     ])
     .with_title("complement gains grow with the wavelengths available to borrow");
-    for boards in [4u16, 8, 16] {
-        for pattern in [TrafficPattern::Complement, TrafficPattern::Uniform] {
-            let base_cfg = config(boards, NetworkMode::NpNb);
-            let plan = default_plan(base_cfg.schedule.window);
-            let base = run_once(base_cfg, pattern.clone(), load, plan);
-            let pb_cfg = config(boards, NetworkMode::PB);
-            let pb = run_once(pb_cfg, pattern.clone(), load, plan);
-            let timing = config(boards, NetworkMode::PB).timing;
-            t.row(vec![
-                format!("{boards}"),
-                format!("{}", boards as u32 * 8),
-                pattern.name().to_string(),
-                format!("{:.4}", base.throughput),
-                format!("{:.4}", pb.throughput),
-                format!("{:.2}x", pb.throughput / base.throughput.max(1e-12)),
-                format!("{:.0}", base.power_mw),
-                format!("{:.0}", pb.power_mw),
-                format!("{}", pb.grants),
-                format!("{} cyc", timing.dbr_latency()),
-                format!(
-                    "{:.1}%",
-                    timing.dbr_latency() as f64 / 2000.0 * 100.0
-                ),
-            ]);
-        }
+    for (i, (boards, pattern)) in grid.iter().enumerate() {
+        let base = &results[2 * i];
+        let pb = &results[2 * i + 1];
+        let timing = config(*boards, NetworkMode::PB).timing;
+        t.row(vec![
+            format!("{boards}"),
+            format!("{}", *boards as u32 * 8),
+            pattern.name().to_string(),
+            format!("{:.4}", base.throughput),
+            format!("{:.4}", pb.throughput),
+            format!("{:.2}x", pb.throughput / base.throughput.max(1e-12)),
+            format!("{:.0}", base.power_mw),
+            format!("{:.0}", pb.power_mw),
+            format!("{}", pb.grants),
+            format!("{} cyc", timing.dbr_latency()),
+            format!("{:.1}%", timing.dbr_latency() as f64 / 2000.0 * 100.0),
+        ]);
     }
     println!("{}", t.render());
     println!("Reading: under complement, a B-board system leaves B-2 idle");

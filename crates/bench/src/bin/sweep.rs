@@ -6,8 +6,10 @@
 //!     --pattern complement --mode P-B --loads 0.1,0.5,0.9 --boards 8 --nodes 8
 //! ```
 
+use erapid_bench::BenchConfig;
 use erapid_core::config::{NetworkMode, SystemConfig};
-use erapid_core::experiment::{default_plan, run_once};
+use erapid_core::experiment::default_plan;
+use erapid_core::runner::{run_points, RunPoint};
 use netstats::table::Table;
 use reconfig::stages::ProtocolTiming;
 use traffic::pattern::TrafficPattern;
@@ -71,15 +73,27 @@ fn main() {
     let window: u64 = get("--window", "2000").parse().expect("--window");
 
     let mut t = Table::new(vec![
-        "mode", "load", "thr (pkt/n/c)", "thr/Nc", "lat (cyc)", "p95",
-        "power (mW)", "grants", "retunes", "undrained",
+        "mode",
+        "load",
+        "thr (pkt/n/c)",
+        "thr/Nc",
+        "lat (cyc)",
+        "p95",
+        "power (mW)",
+        "grants",
+        "retunes",
+        "undrained",
     ])
     .with_title(format!(
         "sweep: pattern={} R(1,{boards},{nodes}) R_w={window}",
         pattern.name()
     ));
-    for mode in modes {
-        for &load in &loads {
+    // Build the grid in display order, fan it out, print in the same order.
+    let bench = BenchConfig::from_env();
+    let points: Vec<(NetworkMode, f64, RunPoint)> = modes
+        .iter()
+        .flat_map(|&mode| loads.iter().map(move |&load| (mode, load)))
+        .map(|(mode, load)| {
             let mut cfg = SystemConfig::paper64(mode);
             cfg.boards = boards;
             cfg.nodes_per_board = nodes;
@@ -93,20 +107,36 @@ fn main() {
                 cfg.seed = seed;
             }
             let plan = default_plan(cfg.schedule.window);
-            let r = run_once(cfg, pattern.clone(), load, plan);
-            t.row(vec![
-                mode.name().to_string(),
-                format!("{load:.2}"),
-                format!("{:.4}", r.throughput),
-                format!("{:.3}", r.throughput_norm),
-                format!("{:.1}", r.latency),
-                format!("{:.0}", r.latency_p95),
-                format!("{:.1}", r.power_mw),
-                format!("{}", r.grants),
-                format!("{}", r.retunes),
-                format!("{}", r.undrained),
-            ]);
-        }
+            (
+                mode,
+                load,
+                RunPoint {
+                    cfg,
+                    pattern: pattern.clone(),
+                    load,
+                    plan,
+                },
+            )
+        })
+        .collect();
+    let labels: Vec<(NetworkMode, f64)> = points.iter().map(|(m, l, _)| (*m, *l)).collect();
+    let results = run_points(
+        bench.threads,
+        points.into_iter().map(|(_, _, p)| p).collect(),
+    );
+    for ((mode, load), r) in labels.into_iter().zip(results) {
+        t.row(vec![
+            mode.name().to_string(),
+            format!("{load:.2}"),
+            format!("{:.4}", r.throughput),
+            format!("{:.3}", r.throughput_norm),
+            format!("{:.1}", r.latency),
+            format!("{:.0}", r.latency_p95),
+            format!("{:.1}", r.power_mw),
+            format!("{}", r.grants),
+            format!("{}", r.retunes),
+            format!("{}", r.undrained),
+        ]);
     }
     println!("{}", t.render());
 }

@@ -75,7 +75,9 @@ fn main() {
     println!("  CDR re-lock 12 cycles; conservative link-disable 65 cycles");
     println!();
     println!("Note: the paper's 26 mW mid-point does not follow from its own");
-    println!("scaling laws (the analytic model yields {:.1} mW at 3.3 Gbps /",
-        analytic_breakdown(ladder.rate(RateLevel(1))).total_mw());
+    println!(
+        "scaling laws (the analytic model yields {:.1} mW at 3.3 Gbps /",
+        analytic_breakdown(ladder.rate(RateLevel(1))).total_mw()
+    );
     println!("0.6 V); the simulation pins the paper's published totals.");
 }

@@ -3,52 +3,139 @@
 //! Every binary prints the same rows/series the paper reports and drops a
 //! CSV next to the console output (under `results/`, created on demand).
 //!
-//! Environment knobs:
+//! Environment knobs — parsed **once** in each binary's `main` by
+//! [`BenchConfig::from_env`] and passed down as plain values (library code
+//! never reads the environment, so tests can construct any configuration
+//! without process-wide races):
 //! * `ERAPID_QUICK=1` — quarter-length runs and a 3-point load axis, for
 //!   smoke-testing the binaries.
 //! * `ERAPID_RESULTS=<dir>` — where CSVs are written (default `results`).
+//! * `ERAPID_THREADS=<n>` — worker threads for the run-level executor
+//!   (default: all available cores; results are byte-identical for any
+//!   value).
 
 use erapid_core::config::{NetworkMode, SystemConfig};
 use erapid_core::experiment::{default_plan, paper_loads, run_once, RunResult};
+use erapid_core::runner::{self, RunPoint};
 use netstats::csv::Csv;
 use netstats::table::Table;
+use std::num::NonZeroUsize;
 use std::path::PathBuf;
 use traffic::pattern::TrafficPattern;
 
-/// True when quick mode is requested.
-pub fn quick() -> bool {
-    std::env::var("ERAPID_QUICK").map(|v| v == "1").unwrap_or(false)
+pub mod timing;
+
+/// Parsed harness configuration: every env knob, read once.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Quarter-length runs and a 3-point load axis.
+    pub quick: bool,
+    /// Worker threads for the run-level executor.
+    pub threads: NonZeroUsize,
+    /// Directory CSVs (and the perf report) are written to.
+    pub results: PathBuf,
 }
 
-/// The load axis in use (3 points in quick mode, the paper's 9 otherwise).
-pub fn load_axis() -> Vec<f64> {
-    if quick() {
-        vec![0.1, 0.5, 0.9]
-    } else {
-        paper_loads()
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            threads: runner::available_threads(),
+            results: PathBuf::from("results"),
+        }
     }
 }
 
-/// Results directory (created on demand).
-pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("ERAPID_RESULTS").unwrap_or_else(|_| "results".into());
-    let p = PathBuf::from(dir);
-    let _ = std::fs::create_dir_all(&p);
-    p
-}
-
-/// Runs one (mode, pattern, load) point on the paper's 64-node system.
-pub fn run_point(mode: NetworkMode, pattern: &TrafficPattern, load: f64) -> RunResult {
-    let cfg = SystemConfig::paper64(mode);
-    let mut plan = default_plan(cfg.schedule.window);
-    if quick() {
-        plan = desim::phase::PhasePlan::new(
-            cfg.schedule.window,
-            2 * cfg.schedule.window,
-        )
-        .with_max_cycles(10 * cfg.schedule.window);
+impl BenchConfig {
+    /// Reads `ERAPID_QUICK`, `ERAPID_THREADS` and `ERAPID_RESULTS`.
+    /// Binaries call this once at the top of `main`.
+    pub fn from_env() -> Self {
+        Self {
+            quick: std::env::var("ERAPID_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false),
+            threads: runner::threads_from_env(),
+            results: PathBuf::from(
+                std::env::var("ERAPID_RESULTS").unwrap_or_else(|_| "results".into()),
+            ),
+        }
     }
-    run_once(cfg, pattern.clone(), load, plan)
+
+    /// The load axis in use (3 points in quick mode, the paper's 9
+    /// otherwise).
+    pub fn load_axis(&self) -> Vec<f64> {
+        if self.quick {
+            vec![0.1, 0.5, 0.9]
+        } else {
+            paper_loads()
+        }
+    }
+
+    /// Results directory (created on demand).
+    pub fn results_dir(&self) -> PathBuf {
+        let _ = std::fs::create_dir_all(&self.results);
+        self.results.clone()
+    }
+
+    /// The phase plan for a system with reconfiguration window `window`.
+    pub fn plan(&self, window: desim::Cycle) -> desim::phase::PhasePlan {
+        if self.quick {
+            desim::phase::PhasePlan::new(window, 2 * window).with_max_cycles(10 * window)
+        } else {
+            default_plan(window)
+        }
+    }
+
+    /// Builds the experiment point for one (mode, pattern, load) on the
+    /// paper's 64-node system.
+    pub fn point(&self, mode: NetworkMode, pattern: &TrafficPattern, load: f64) -> RunPoint {
+        let cfg = SystemConfig::paper64(mode);
+        let plan = self.plan(cfg.schedule.window);
+        RunPoint {
+            cfg,
+            pattern: pattern.clone(),
+            load,
+            plan,
+        }
+    }
+
+    /// Runs one (mode, pattern, load) point on the paper's 64-node system.
+    pub fn run_point(&self, mode: NetworkMode, pattern: &TrafficPattern, load: f64) -> RunResult {
+        self.point(mode, pattern, load).run()
+    }
+
+    /// Runs the full panel for one pattern (the 4 curves of one figure
+    /// column), fanning all mode × load points over the worker pool.
+    /// Results are byte-identical to the sequential order for any thread
+    /// count.
+    pub fn run_panel(&self, name: &str, pattern: &TrafficPattern) -> Panel {
+        let loads = self.load_axis();
+        let modes = NetworkMode::all();
+        eprintln!(
+            "  running {} ({} modes x {} loads on {} threads) ...",
+            name,
+            modes.len(),
+            loads.len(),
+            self.threads
+        );
+        let points: Vec<RunPoint> = modes
+            .iter()
+            .flat_map(|&mode| loads.iter().map(move |&l| (mode, l)))
+            .map(|(mode, l)| self.point(mode, pattern, l))
+            .collect();
+        let mut flat = runner::run_points(self.threads, points);
+        let mut results = Vec::new();
+        for &mode in modes.iter().rev() {
+            let series: Vec<RunResult> = flat.split_off(flat.len() - loads.len());
+            results.push((mode, series));
+        }
+        results.reverse();
+        Panel {
+            pattern: name.to_string(),
+            results,
+            loads,
+        }
+    }
 }
 
 /// One pattern's full panel: all four configurations across the load axis.
@@ -61,15 +148,18 @@ pub struct Panel {
     pub loads: Vec<f64>,
 }
 
-/// Runs the full panel for one pattern (the 4 curves of one figure column).
-pub fn run_panel(name: &str, pattern: &TrafficPattern) -> Panel {
-    let loads = load_axis();
+/// Sequential reference for [`BenchConfig::run_panel`] — used by tests and
+/// the perf report to prove the parallel path byte-identical.
+pub fn run_panel_sequential(cfg: &BenchConfig, name: &str, pattern: &TrafficPattern) -> Panel {
+    let loads = cfg.load_axis();
     let mut results = Vec::new();
     for mode in NetworkMode::all() {
-        eprintln!("  running {} / {} ...", name, mode.name());
         let series: Vec<RunResult> = loads
             .iter()
-            .map(|&l| run_point(mode, pattern, l))
+            .map(|&l| {
+                let p = cfg.point(mode, pattern, l);
+                run_once(p.cfg, p.pattern, p.load, p.plan)
+            })
             .collect();
         results.push((mode, series));
     }
@@ -82,7 +172,7 @@ pub fn run_panel(name: &str, pattern: &TrafficPattern) -> Panel {
 
 /// Prints the three sub-panels (throughput, latency, power) the paper's
 /// Figures 5/6 show for one pattern, and writes a CSV.
-pub fn print_panel(panel: &Panel) {
+pub fn print_panel(cfg: &BenchConfig, panel: &Panel) {
     let headers = |unit: &str| {
         let mut h = vec![format!("load ({unit})")];
         for (m, _) in &panel.results {
@@ -130,7 +220,7 @@ pub fn print_panel(panel: &Panel) {
         }
         csv.row(row);
     }
-    let path = results_dir().join(format!("{}.csv", panel.pattern));
+    let path = cfg.results_dir().join(format!("{}.csv", panel.pattern));
     match csv.write_to(&path) {
         Ok(()) => println!("wrote {}\n", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
@@ -142,12 +232,8 @@ pub fn print_panel(panel: &Panel) {
 pub fn print_charts(panel: &Panel) {
     use netstats::chart::Chart;
     let draw = |title: &str, ylab: &str, f: &dyn Fn(&erapid_core::experiment::RunResult) -> f64| {
-        let mut c = Chart::new(
-            format!("[{}] {title}", panel.pattern),
-            64,
-            14,
-        )
-        .with_labels("offered load (fraction of N_c)", ylab);
+        let mut c = Chart::new(format!("[{}] {title}", panel.pattern), 64, 14)
+            .with_labels("offered load (fraction of N_c)", ylab);
         for (mode, series) in &panel.results {
             let pts: Vec<(f64, f64)> = panel
                 .loads
@@ -175,12 +261,8 @@ pub fn print_ratios(panel: &Panel) {
             .expect("all modes present")
             .1
     };
-    let peak = |s: &Vec<RunResult>| {
-        s.iter().map(|r| r.throughput).fold(0.0f64, f64::max)
-    };
-    let peak_pwr = |s: &Vec<RunResult>| {
-        s.iter().map(|r| r.power_mw).fold(0.0f64, f64::max)
-    };
+    let peak = |s: &Vec<RunResult>| s.iter().map(|r| r.throughput).fold(0.0f64, f64::max);
+    let peak_pwr = |s: &Vec<RunResult>| s.iter().map(|r| r.power_mw).fold(0.0f64, f64::max);
     let npnb = find(NetworkMode::NpNb);
     let npb = find(NetworkMode::NpB);
     let pnb = find(NetworkMode::PNb);
@@ -211,17 +293,42 @@ pub fn print_ratios(panel: &Panel) {
 mod tests {
     use super::*;
 
+    fn quick_cfg() -> BenchConfig {
+        BenchConfig {
+            quick: true,
+            ..BenchConfig::default()
+        }
+    }
+
     #[test]
     fn load_axis_default_is_paper() {
-        std::env::remove_var("ERAPID_QUICK");
-        assert_eq!(load_axis().len(), 9);
+        // No env mutation: configurations are plain values now.
+        assert_eq!(BenchConfig::default().load_axis().len(), 9);
+        assert_eq!(quick_cfg().load_axis().len(), 3);
     }
 
     #[test]
     fn run_point_smoke() {
-        std::env::set_var("ERAPID_QUICK", "1");
-        let r = run_point(NetworkMode::NpNb, &TrafficPattern::Uniform, 0.2);
+        let r = quick_cfg().run_point(NetworkMode::NpNb, &TrafficPattern::Uniform, 0.2);
         assert!(r.throughput > 0.0);
-        std::env::remove_var("ERAPID_QUICK");
+    }
+
+    #[test]
+    fn parallel_panel_matches_sequential() {
+        // 2 threads vs the plain sequential loop over the same points:
+        // every RunResult field must be identical, in identical order.
+        let cfg = BenchConfig {
+            quick: true,
+            threads: NonZeroUsize::new(2).unwrap(),
+            ..BenchConfig::default()
+        };
+        let par = cfg.run_panel("uniform", &TrafficPattern::Uniform);
+        let seq = run_panel_sequential(&cfg, "uniform", &TrafficPattern::Uniform);
+        assert_eq!(par.loads, seq.loads);
+        assert_eq!(par.results.len(), seq.results.len());
+        for ((ma, sa), (mb, sb)) in par.results.iter().zip(&seq.results) {
+            assert_eq!(ma, mb);
+            assert_eq!(sa, sb, "mode {} series diverged", ma.name());
+        }
     }
 }

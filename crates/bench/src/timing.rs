@@ -1,0 +1,59 @@
+//! Minimal wall-clock timing harness for the `benches/` targets.
+//!
+//! The workspace builds with no network access, so the benches cannot pull
+//! in an external statistics harness; this module provides the small slice
+//! we need: run a routine N times against fresh state and report
+//! min/median/max wall-clock time.
+
+use std::time::Instant;
+
+/// One benchmark's timing summary, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    pub min_ns: u128,
+    pub median_ns: u128,
+    pub max_ns: u128,
+    pub samples: usize,
+}
+
+impl Timing {
+    /// Median sample in seconds.
+    pub fn median_secs(&self) -> f64 {
+        self.median_ns as f64 / 1e9
+    }
+}
+
+/// Times `routine` over `samples` runs, each against a fresh `setup()`
+/// value (setup time is excluded), prints a one-line summary and returns
+/// the statistics.
+pub fn bench<T, R>(
+    name: &str,
+    samples: usize,
+    mut setup: impl FnMut() -> T,
+    mut routine: impl FnMut(T) -> R,
+) -> Timing {
+    assert!(samples > 0);
+    let mut times: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        times.push(start.elapsed().as_nanos());
+        std::hint::black_box(out);
+    }
+    times.sort_unstable();
+    let t = Timing {
+        min_ns: times[0],
+        median_ns: times[times.len() / 2],
+        max_ns: times[times.len() - 1],
+        samples,
+    };
+    println!(
+        "{name:<44} median {:>10.3} ms  (min {:.3}, max {:.3}, n={})",
+        t.median_ns as f64 / 1e6,
+        t.min_ns as f64 / 1e6,
+        t.max_ns as f64 / 1e6,
+        t.samples
+    );
+    t
+}

@@ -52,6 +52,9 @@ pub struct Board {
     buffer_util: Vec<WindowedUtilization>,
     /// Node-sink credits owed back next cycle: (port, vc).
     node_credits: Vec<(PortId, u8)>,
+    /// Reusable per-cycle traversal buffer (cleared each step, never
+    /// reallocated in steady state).
+    traversal_scratch: Vec<router::Traversal>,
 }
 
 impl Board {
@@ -104,6 +107,7 @@ impl Board {
                 .map(|_| WindowedUtilization::new(cfg.schedule.window))
                 .collect(),
             node_credits: Vec::new(),
+            traversal_scratch: Vec::new(),
         }
     }
 
@@ -185,10 +189,24 @@ impl Board {
                 .all(|q| q.ready_len() == 0 && q.flits_held() == 0)
     }
 
-    /// Advances the board one cycle: injectors feed the router, the router
-    /// steps, traversals land in node sinks (returned as deliveries) or TX
-    /// queues. Also samples `Buffer_util`.
+    /// Advances the board one cycle, allocating a fresh delivery vector.
+    ///
+    /// Convenience wrapper over [`Board::step_into`] for tests and one-off
+    /// drivers; the simulation hot loop passes a reusable buffer instead.
     pub fn step(&mut self, now: Cycle) -> Vec<Delivered> {
+        let mut delivered = Vec::new();
+        self.step_into(now, &mut delivered);
+        delivered
+    }
+
+    /// Advances the board one cycle: injectors feed the router, the router
+    /// steps, traversals land in node sinks (appended to `delivered` —
+    /// which is *not* cleared, the caller owns it) or TX queues. Also
+    /// samples `Buffer_util`.
+    ///
+    /// The traversal list is accumulated into a persistent scratch buffer,
+    /// so a steady-state cycle performs no heap allocation.
+    pub fn step_into(&mut self, now: Cycle, delivered: &mut Vec<Delivered>) {
         for (port, vc) in self.node_credits.drain(..) {
             self.router.credit(port, vc);
         }
@@ -198,9 +216,12 @@ impl Board {
         for inj in &mut self.rx_inj {
             inj.tick(&mut self.router);
         }
-        let traversals = self.router.step(now);
-        let mut delivered = Vec::new();
-        for t in traversals {
+        // Take the scratch to sidestep the simultaneous `&mut self.router`
+        // / `&mut self.traversal_scratch` borrow; restored below.
+        let mut traversals = std::mem::take(&mut self.traversal_scratch);
+        traversals.clear();
+        self.router.step_into(now, &mut traversals);
+        for t in &traversals {
             let out = t.out_port.0;
             if out < self.d {
                 self.node_credits.push((t.out_port, t.out_vc));
@@ -218,10 +239,10 @@ impl Board {
                 self.tx[dest as usize].accept(t.flit, self.packet_flits, t.out_vc, now);
             }
         }
+        self.traversal_scratch = traversals;
         for (dest, q) in self.tx.iter().enumerate() {
             self.buffer_util[dest].record(q.occupancy());
         }
-        delivered
     }
 }
 

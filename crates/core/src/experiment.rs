@@ -76,21 +76,49 @@ pub fn run_once(
     }
 }
 
-/// Sweeps the load axis for one (mode, pattern) pair.
-pub fn sweep_loads(
+/// Sweeps the load axis for one (mode, pattern) pair on `threads` workers.
+///
+/// The points are built sequentially (so `make_cfg` may be stateful) and
+/// executed by [`crate::runner::run_points`]; results come back in load
+/// order, byte-identical to a sequential sweep for any thread count.
+pub fn sweep_loads_with(
+    threads: std::num::NonZeroUsize,
     mode: NetworkMode,
     pattern: &TrafficPattern,
     loads: &[f64],
     mut make_cfg: impl FnMut(NetworkMode) -> SystemConfig,
 ) -> Vec<RunResult> {
-    loads
+    let points: Vec<crate::runner::RunPoint> = loads
         .iter()
         .map(|&load| {
             let cfg = make_cfg(mode);
             let plan = default_plan(cfg.schedule.window);
-            run_once(cfg, pattern.clone(), load, plan)
+            crate::runner::RunPoint {
+                cfg,
+                pattern: pattern.clone(),
+                load,
+                plan,
+            }
         })
-        .collect()
+        .collect();
+    crate::runner::run_points(threads, points)
+}
+
+/// Sweeps the load axis for one (mode, pattern) pair, using every
+/// available core (see [`sweep_loads_with`] to control the thread count).
+pub fn sweep_loads(
+    mode: NetworkMode,
+    pattern: &TrafficPattern,
+    loads: &[f64],
+    make_cfg: impl FnMut(NetworkMode) -> SystemConfig,
+) -> Vec<RunResult> {
+    sweep_loads_with(
+        crate::runner::available_threads(),
+        mode,
+        pattern,
+        loads,
+        make_cfg,
+    )
 }
 
 /// The paper's load axis: 0.1 – 0.9 in steps of 0.1.

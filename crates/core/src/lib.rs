@@ -31,7 +31,9 @@
 //!   odd–even reconfiguration triggers,
 //! * [`metrics`] — run metrics (throughput, latency, power, reconfig
 //!   counters),
-//! * [`experiment`] — load sweeps and the figure-series runner.
+//! * [`experiment`] — load sweeps and the figure-series runner,
+//! * [`runner`] — the parallel run-level executor fanning independent
+//!   experiment points over a worker pool (`ERAPID_THREADS`).
 
 //!
 //! ## Example: one experiment point
@@ -55,10 +57,12 @@ pub mod config;
 pub mod experiment;
 pub mod inject;
 pub mod metrics;
+pub mod runner;
 pub mod srs;
 pub mod system;
 pub mod txqueue;
 
 pub use config::{NetworkMode, SystemConfig};
-pub use experiment::{run_once, sweep_loads, RunResult};
+pub use experiment::{run_once, sweep_loads, sweep_loads_with, RunResult};
+pub use runner::{parallel_map, run_points, RunPoint};
 pub use system::System;

@@ -1,0 +1,161 @@
+//! Parallel run-level executor.
+//!
+//! The paper's evaluation is a grid of *independent, deterministic*
+//! simulations (mode × pattern × load × seed). Each [`crate::System`] owns
+//! its per-node RNG streams (seeded from `cfg.seed`), so runs share no
+//! state and a run's result is byte-identical no matter which thread
+//! executes it. That makes run-level fan-out safe by construction — only
+//! the *scheduling* is concurrent, never the simulation itself (which
+//! stays intentionally single-threaded per run; see DESIGN.md §6).
+//!
+//! No external crates: the pool is a self-scheduling worker loop over
+//! [`std::thread::scope`] — workers pull the next unclaimed index from a
+//! shared atomic counter (work-stealing-ish: fast runs automatically pick
+//! up more points), and results land in their input slot, so output order
+//! equals input order regardless of completion order.
+//!
+//! The thread count comes from the `ERAPID_THREADS` env knob (read once by
+//! [`threads_from_env`], which binaries call in `main`), defaulting to the
+//! machine's available parallelism.
+
+use crate::config::SystemConfig;
+use crate::experiment::{run_once, RunResult};
+use desim::phase::PhasePlan;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use traffic::pattern::TrafficPattern;
+
+/// The machine's available parallelism (1 if it cannot be queried).
+pub fn available_threads() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Parses the `ERAPID_THREADS` env knob; 0, unset or unparsable mean
+/// "use [`available_threads`]". Binaries read this once in `main` and pass
+/// the value down — library code never touches the environment.
+pub fn threads_from_env() -> NonZeroUsize {
+    std::env::var("ERAPID_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .and_then(NonZeroUsize::new)
+        .unwrap_or_else(available_threads)
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, returning the
+/// results in input order.
+///
+/// Workers self-schedule off a shared atomic index, so an expensive item
+/// does not stall the queue behind it. With one thread (or one item) this
+/// degenerates to a plain sequential map on the calling thread — the
+/// output is identical either way for any deterministic `f`. A panic in
+/// `f` propagates to the caller when the scope joins.
+pub fn parallel_map<T, R, F>(threads: NonZeroUsize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.get().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = jobs[i]
+                    .lock()
+                    .expect("job mutex poisoned")
+                    .take()
+                    .expect("each job claimed exactly once");
+                let result = f(item);
+                *slots[i].lock().expect("slot mutex poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("every slot filled before scope join")
+        })
+        .collect()
+}
+
+/// One experiment point, fully specified: configuration (mode, seed,
+/// topology), traffic pattern, offered load and phase plan.
+#[derive(Debug, Clone)]
+pub struct RunPoint {
+    pub cfg: SystemConfig,
+    pub pattern: TrafficPattern,
+    pub load: f64,
+    pub plan: PhasePlan,
+}
+
+impl RunPoint {
+    /// Executes this point on the calling thread.
+    pub fn run(self) -> RunResult {
+        run_once(self.cfg, self.pattern, self.load, self.plan)
+    }
+}
+
+/// Fans a batch of experiment points out over `threads` workers; results
+/// come back in input order and are byte-identical to running each point
+/// sequentially.
+pub fn run_points(threads: NonZeroUsize, points: Vec<RunPoint>) -> Vec<RunResult> {
+    parallel_map(threads, points, RunPoint::run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 7, 64] {
+            let got = parallel_map(NonZeroUsize::new(threads).unwrap(), items.clone(), |x| {
+                x * x
+            });
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(NonZeroUsize::new(4).unwrap(), empty, |x| x).is_empty());
+        let one = parallel_map(NonZeroUsize::new(4).unwrap(), vec![41u32], |x| x + 1);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn parallel_map_uses_multiple_threads() {
+        // Two items that rendezvous on a barrier: they can only both
+        // finish if two distinct workers run them concurrently (a single
+        // worker claiming an item blocks at the barrier, leaving the
+        // other item for the second worker).
+        let barrier = std::sync::Barrier::new(2);
+        let ids = parallel_map(NonZeroUsize::new(2).unwrap(), vec![0u8, 1], |_| {
+            barrier.wait();
+            std::thread::current().id()
+        });
+        assert_ne!(ids[0], ids[1], "expected 2 distinct worker threads");
+    }
+
+    #[test]
+    fn threads_env_parsing_defaults() {
+        // Does not touch the environment: just the default path.
+        assert!(available_threads().get() >= 1);
+    }
+}

@@ -102,7 +102,9 @@ impl Srs {
             owner,
             channels,
             link_util,
-            arrivals: BinaryHeapQueue::new(),
+            // At most one packet is in flight per (source, wavelength), so
+            // this pre-sizing makes arrival pushes allocation-free.
+            arrivals: BinaryHeapQueue::with_capacity(boards as usize * w_count as usize),
             pending_grants: Vec::new(),
             pending_retune: vec![None; (boards as usize).pow(2) * w_count as usize],
             power_model,
@@ -123,8 +125,7 @@ impl Srs {
     }
 
     fn idx(&self, s: u16, d: u16, w: u16) -> usize {
-        ((s as usize * self.boards as usize) + d as usize) * self.wavelengths as usize
-            + w as usize
+        ((s as usize * self.boards as usize) + d as usize) * self.wavelengths as usize + w as usize
     }
 
     /// The channel for `(source, destination, wavelength)`.
@@ -216,13 +217,7 @@ impl Srs {
     /// Tries to transmit `packet` from board `s` to board `d` on any free
     /// owned channel. On success returns the wavelength used; the arrival
     /// is scheduled internally.
-    pub fn try_transmit(
-        &mut self,
-        now: Cycle,
-        s: u16,
-        d: u16,
-        packet: ReadyPacket,
-    ) -> Option<u16> {
+    pub fn try_transmit(&mut self, now: Cycle, s: u16, d: u16, packet: ReadyPacket) -> Option<u16> {
         let w = (0..self.wavelengths).find(|&w| {
             self.owner[d as usize][w as usize] == Some(s) && {
                 let c = self.channel(s, d, w);
@@ -251,15 +246,21 @@ impl Srs {
         self.arrivals.len()
     }
 
-    /// All packets that have fully arrived by `now`.
+    /// Pops the next packet that has fully arrived by `now`, if any — the
+    /// allocation-free form the cycle loop drains arrivals with.
+    pub fn pop_arrival_due(&mut self, now: Cycle) -> Option<Arrival> {
+        match self.arrivals.peek_time() {
+            Some(t) if t <= now => Some(self.arrivals.pop().expect("peeked").1),
+            _ => None,
+        }
+    }
+
+    /// All packets that have fully arrived by `now` (allocating wrapper
+    /// over [`Srs::pop_arrival_due`], for tests and inspection).
     pub fn arrivals_due(&mut self, now: Cycle) -> Vec<Arrival> {
         let mut out = Vec::new();
-        while let Some(t) = self.arrivals.peek_time() {
-            if t <= now {
-                out.push(self.arrivals.pop().expect("peeked").1);
-            } else {
-                break;
-            }
+        while let Some(arr) = self.pop_arrival_due(now) {
+            out.push(arr);
         }
         out
     }

@@ -19,13 +19,13 @@ use crate::metrics::RunMetrics;
 use crate::srs::Srs;
 use desim::phase::{Phase, PhasePlan};
 use desim::Cycle;
+use photonics::wavelength::{BoardId, Wavelength};
 use reconfig::alloc::{FlowDemand, IncomingLink};
 use reconfig::lockstep::WindowKind;
 use reconfig::msg::{LinkReading, WavelengthGrant};
 use reconfig::protocol::DbrRound;
 use router::flit::{NodeId, PacketId};
 use router::packet::Packet;
-use photonics::wavelength::{BoardId, Wavelength};
 use traffic::generator::NodeGenerator;
 use traffic::pattern::TrafficPattern;
 use traffic::trace::TraceReplayer;
@@ -46,6 +46,9 @@ pub struct System {
     pending_dbr: Vec<(Cycle, Vec<WavelengthGrant>)>,
     /// In-flight message-level DBR round (message-level control plane).
     active_round: Option<DbrRound>,
+    /// Reusable per-cycle delivery buffer — cleared per board per cycle,
+    /// never reallocated in steady state.
+    delivered_scratch: Vec<crate::board::Delivered>,
 }
 
 impl System {
@@ -88,6 +91,7 @@ impl System {
             metrics,
             pending_dbr: Vec::new(),
             active_round: None,
+            delivered_scratch: Vec::new(),
         }
     }
 
@@ -250,12 +254,17 @@ impl System {
     }
 
     /// Direct evaluation of the Reconfigure stage for every destination.
+    /// The per-destination channel/demand lists are hoisted out of the loop
+    /// and reused, so one window boundary performs O(1) allocations instead
+    /// of O(boards).
     fn compute_grants(&self) -> Vec<WavelengthGrant> {
         let boards = self.cfg.boards;
         let wavelengths = self.cfg.wavelengths();
         let mut all_grants = Vec::new();
+        let mut channels: Vec<IncomingLink> = Vec::with_capacity(wavelengths as usize);
+        let mut demands: Vec<FlowDemand> = Vec::with_capacity(boards as usize);
         for d in 0..boards {
-            let mut channels = Vec::new();
+            channels.clear();
             for w in 1..wavelengths {
                 if let Some(s) = self.srs.owner(d, w) {
                     channels.push(IncomingLink {
@@ -265,17 +274,15 @@ impl System {
                     });
                 }
             }
-            let demands: Vec<FlowDemand> = (0..boards)
-                .filter(|&s| s != d)
-                .map(|s| FlowDemand {
-                    source: BoardId(s),
-                    buffer_util: self.boards[s as usize].buffer_util(d),
-                })
-                .collect();
-            let grants =
-                self.cfg
-                    .alloc
-                    .reconfigure_with_demands(BoardId(d), &channels, &demands);
+            demands.clear();
+            demands.extend((0..boards).filter(|&s| s != d).map(|s| FlowDemand {
+                source: BoardId(s),
+                buffer_util: self.boards[s as usize].buffer_util(d),
+            }));
+            let grants = self
+                .cfg
+                .alloc
+                .reconfigure_with_demands(BoardId(d), &channels, &demands);
             all_grants.extend(grants);
         }
         all_grants
@@ -390,18 +397,25 @@ impl System {
     }
 
     fn step_boards(&mut self, now: Cycle) {
+        // Reuse one delivery buffer across all boards and cycles.
+        let mut delivered = std::mem::take(&mut self.delivered_scratch);
         for b in &mut self.boards {
-            for delivered in b.step(now) {
+            delivered.clear();
+            b.step_into(now, &mut delivered);
+            for d in &delivered {
                 self.metrics.delivered_total += 1;
                 if self.metrics.measuring(now) {
-                    self.metrics.throughput.deliver(now, self.cfg.packet_flits as u32);
+                    self.metrics
+                        .throughput
+                        .deliver(now, self.cfg.packet_flits as u32);
                 }
-                if delivered.labelled {
+                if d.labelled {
                     self.metrics.tracker.deliver_labelled();
-                    self.metrics.latency.record(delivered.injected_at, now);
+                    self.metrics.latency.record(d.injected_at, now);
                 }
             }
         }
+        self.delivered_scratch = delivered;
     }
 
     /// Moves ready TX-queue packets onto free owned optical channels.
@@ -432,9 +446,10 @@ impl System {
         }
     }
 
-    /// Delivers optical arrivals into the destination boards' receivers.
+    /// Delivers optical arrivals into the destination boards' receivers
+    /// (popping one at a time — no per-cycle arrival list is built).
     fn receive(&mut self, now: Cycle) {
-        for arr in self.srs.arrivals_due(now) {
+        while let Some(arr) = self.srs.pop_arrival_due(now) {
             self.boards[arr.dst_board as usize].enqueue_rx_packet(arr.wavelength, arr.packet);
         }
     }
@@ -597,10 +612,7 @@ mod tests {
         let b = run(NetworkMode::PB, TrafficPattern::Uniform, 0.4);
         assert_eq!(a.metrics().injected_total, b.metrics().injected_total);
         assert_eq!(a.metrics().delivered_total, b.metrics().delivered_total);
-        assert_eq!(
-            a.metrics().throughput_ppc(),
-            b.metrics().throughput_ppc()
-        );
+        assert_eq!(a.metrics().throughput_ppc(), b.metrics().throughput_ppc());
         assert_eq!(a.metrics().mean_latency(), b.metrics().mean_latency());
         assert_eq!(a.now(), b.now());
     }
@@ -679,8 +691,12 @@ mod tests {
         // bit-identical metrics.
         let cfg = SystemConfig::small(NetworkMode::PB);
         let rate = cfg.capacity().injection_rate(0.4);
-        let mut gens =
-            traffic::generator::build_generators(cfg.nodes(), &TrafficPattern::Uniform, rate, cfg.seed);
+        let mut gens = traffic::generator::build_generators(
+            cfg.nodes(),
+            &TrafficPattern::Uniform,
+            rate,
+            cfg.seed,
+        );
         let mut rec = traffic::trace::TraceRecorder::new();
         let horizon = plan().max_cycles;
         for now in 0..horizon {
@@ -711,7 +727,10 @@ mod tests {
             live.metrics().delivered_total,
             replayed.metrics().delivered_total
         );
-        assert_eq!(live.metrics().mean_latency(), replayed.metrics().mean_latency());
+        assert_eq!(
+            live.metrics().mean_latency(),
+            replayed.metrics().mean_latency()
+        );
         assert_eq!(live.now(), replayed.now());
     }
 

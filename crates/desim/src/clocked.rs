@@ -91,7 +91,11 @@ impl<S> ClockedEngine<S> {
 
     /// Runs until `stop(shared, now)` returns true or `max` cycles elapse.
     /// Returns the cycle at which it stopped.
-    pub fn run_while(&mut self, max: Cycle, mut keep_going: impl FnMut(&S, Cycle) -> bool) -> Cycle {
+    pub fn run_while(
+        &mut self,
+        max: Cycle,
+        mut keep_going: impl FnMut(&S, Cycle) -> bool,
+    ) -> Cycle {
         let end = self.now + max;
         while self.now < end && keep_going(&self.shared, self.now) {
             self.step();
@@ -135,8 +139,14 @@ mod tests {
     #[test]
     fn two_phase_gives_consistent_snapshot() {
         let mut engine = ClockedEngine::new(SharedReg { current: 0 });
-        engine.add(Box::new(Incrementer { staged: 0, observed: vec![] }));
-        engine.add(Box::new(Incrementer { staged: 0, observed: vec![] }));
+        engine.add(Box::new(Incrementer {
+            staged: 0,
+            observed: vec![],
+        }));
+        engine.add(Box::new(Incrementer {
+            staged: 0,
+            observed: vec![],
+        }));
         engine.run_to(3);
         assert_eq!(engine.now(), 3);
         // Both incrementers observed the same value each cycle; the register

@@ -14,8 +14,8 @@
 //! order (FIFO tie-break), which the simulator relies on for reproducibility.
 
 use crate::Cycle;
-use std::collections::BinaryHeap;
 use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// A pending-event set: a priority queue of `(time, sequence, event)` keyed
 /// by time then by insertion sequence.
@@ -386,7 +386,9 @@ mod tests {
         // Simple LCG so the test is deterministic without rand.
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let mut now = 0;

@@ -105,7 +105,10 @@ impl TraceRing {
     pub fn dump(&self) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier records dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier records dropped ...\n",
+                self.dropped
+            ));
         }
         for r in &self.records {
             out.push_str(&r.to_string());

@@ -228,7 +228,11 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].1.dst, 15);
         // 6 hops minimum; each hop costs pipeline + link cycles.
-        assert!(log[0].0 >= 6, "delivered unrealistically fast at {}", log[0].0);
+        assert!(
+            log[0].0 >= 6,
+            "delivered unrealistically fast at {}",
+            log[0].0
+        );
         assert!(net.is_idle());
         assert_eq!(net.delivered_count(), 1);
     }

@@ -49,7 +49,10 @@ impl RouterEnergy {
     /// Energy of one complete hop (write + read + arbitrate + crossbar +
     /// link), picojoules.
     pub fn per_hop_pj(&self) -> f64 {
-        self.buffer_write_pj + self.buffer_read_pj + self.crossbar_pj + self.arbitration_pj
+        self.buffer_write_pj
+            + self.buffer_read_pj
+            + self.crossbar_pj
+            + self.arbitration_pj
             + self.link_pj
     }
 }

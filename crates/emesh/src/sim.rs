@@ -146,7 +146,11 @@ mod tests {
         let rate = 0.005;
         let r = run_mesh(cfg, TrafficPattern::Uniform, rate, plan());
         assert_eq!(r.undrained, 0);
-        assert!((r.throughput - rate).abs() / rate < 0.25, "thr {}", r.throughput);
+        assert!(
+            (r.throughput - rate).abs() / rate < 0.25,
+            "thr {}",
+            r.throughput
+        );
         assert!(r.latency > 0.0);
     }
 

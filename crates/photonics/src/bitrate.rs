@@ -69,9 +69,18 @@ impl RateLadder {
     /// 5 Gbps @ 0.9 V (Table 1).
     pub fn paper() -> Self {
         Self::new(vec![
-            BitRate { gbps: 2.5, vdd: 0.45 },
-            BitRate { gbps: 3.3, vdd: 0.6 },
-            BitRate { gbps: 5.0, vdd: 0.9 },
+            BitRate {
+                gbps: 2.5,
+                vdd: 0.45,
+            },
+            BitRate {
+                gbps: 3.3,
+                vdd: 0.6,
+            },
+            BitRate {
+                gbps: 5.0,
+                vdd: 0.9,
+            },
         ])
     }
 
@@ -79,8 +88,14 @@ impl RateLadder {
     /// (for the "more power levels" ablation). `n >= 2`.
     pub fn interpolated(n: usize) -> Self {
         assert!(n >= 2);
-        let lo = BitRate { gbps: 2.5, vdd: 0.45 };
-        let hi = BitRate { gbps: 5.0, vdd: 0.9 };
+        let lo = BitRate {
+            gbps: 2.5,
+            vdd: 0.45,
+        };
+        let hi = BitRate {
+            gbps: 5.0,
+            vdd: 0.9,
+        };
         let levels = (0..n)
             .map(|i| {
                 let t = i as f64 / (n - 1) as f64;
@@ -195,14 +210,23 @@ mod tests {
     #[should_panic(expected = "strictly increase")]
     fn non_monotone_rates_rejected() {
         RateLadder::new(vec![
-            BitRate { gbps: 5.0, vdd: 0.9 },
-            BitRate { gbps: 2.5, vdd: 0.45 },
+            BitRate {
+                gbps: 5.0,
+                vdd: 0.9,
+            },
+            BitRate {
+                gbps: 2.5,
+                vdd: 0.45,
+            },
         ]);
     }
 
     #[test]
     fn display_format() {
-        let r = BitRate { gbps: 2.5, vdd: 0.45 };
+        let r = BitRate {
+            gbps: 2.5,
+            vdd: 0.45,
+        };
         assert_eq!(r.to_string(), "2.5 Gbps @ 0.45 V");
     }
 

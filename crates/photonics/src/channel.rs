@@ -154,9 +154,10 @@ impl OpticalChannel {
     pub fn settle(&mut self, now: Cycle) {
         match self.state {
             ChannelState::Sending { until } | ChannelState::Transitioning { until }
-                if now >= until => {
-                    self.state = ChannelState::Idle;
-                }
+                if now >= until =>
+            {
+                self.state = ChannelState::Idle;
+            }
             _ => {}
         }
     }
@@ -165,9 +166,7 @@ impl OpticalChannel {
     pub fn can_send(&self, now: Cycle) -> bool {
         match self.state {
             ChannelState::Idle => true,
-            ChannelState::Sending { until } | ChannelState::Transitioning { until } => {
-                now >= until
-            }
+            ChannelState::Sending { until } | ChannelState::Transitioning { until } => now >= until,
             ChannelState::Off => false,
         }
     }

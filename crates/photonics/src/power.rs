@@ -233,9 +233,7 @@ mod tests {
     #[test]
     fn split_matches_total() {
         let b = analytic_breakdown(RateLadder::paper().rate(RateLevel(1)));
-        assert!(
-            (b.transmitter_mw() + b.receiver_mw() - b.total_mw()).abs() < 1e-12
-        );
+        assert!((b.transmitter_mw() + b.receiver_mw() - b.total_mw()).abs() < 1e-12);
     }
 
     #[test]

@@ -85,8 +85,7 @@ mod tests {
         let s = Serdes::paper();
         let ladder = RateLadder::paper();
         assert!(
-            s.flit_cycles(ladder.rate(RateLevel(0)))
-                > s.flit_cycles(ladder.rate(RateLevel(2)))
+            s.flit_cycles(ladder.rate(RateLevel(0))) > s.flit_cycles(ladder.rate(RateLevel(2)))
         );
     }
 
@@ -103,7 +102,10 @@ mod tests {
         // at a hypothetical 8 Gbps (20 b/cyc) → ceil(1.6)=2;
         // with 40-bit flits and 20 b/cyc → exactly 2.
         let s = Serdes::new(40, 400.0e6);
-        let r = BitRate { gbps: 8.0, vdd: 1.0 };
+        let r = BitRate {
+            gbps: 8.0,
+            vdd: 1.0,
+        };
         assert_eq!(s.flit_cycles(r), 2);
     }
 }

@@ -48,7 +48,11 @@ impl DpmPolicy {
         assert!((0.0..=1.0).contains(&l_max));
         assert!((0.0..=1.0).contains(&b_max));
         assert!(l_min <= l_max, "l_min must not exceed l_max");
-        Self { l_min, l_max, b_max }
+        Self {
+            l_min,
+            l_max,
+            b_max,
+        }
     }
 
     /// The paper's P-B (power-aware, bandwidth-reconfigured) thresholds:

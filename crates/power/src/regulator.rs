@@ -123,11 +123,17 @@ mod tests {
         let mut r = reg();
         assert_eq!(
             r.observe(0.0, 0.0),
-            RegulatorAction::Retune { level: RateLevel(1), penalty: 65 }
+            RegulatorAction::Retune {
+                level: RateLevel(1),
+                penalty: 65
+            }
         );
         assert_eq!(
             r.observe(0.0, 0.0),
-            RegulatorAction::Retune { level: RateLevel(0), penalty: 65 }
+            RegulatorAction::Retune {
+                level: RateLevel(0),
+                penalty: 65
+            }
         );
         // At the bottom, Down saturates into Hold.
         assert_eq!(r.observe(0.0, 0.0), RegulatorAction::Hold);
@@ -141,7 +147,10 @@ mod tests {
         r.observe(0.0, 0.0); // -> mid
         assert_eq!(
             r.observe(0.95, 0.5),
-            RegulatorAction::Retune { level: RateLevel(2), penalty: 65 }
+            RegulatorAction::Retune {
+                level: RateLevel(2),
+                penalty: 65
+            }
         );
         // At the top, Up saturates into Hold.
         assert_eq!(r.observe(0.95, 0.5), RegulatorAction::Hold);
@@ -164,7 +173,10 @@ mod tests {
         // Saturated + queued: scales up from the forced level.
         assert_eq!(
             r.observe(1.0, 1.0),
-            RegulatorAction::Retune { level: RateLevel(1), penalty: 65 }
+            RegulatorAction::Retune {
+                level: RateLevel(1),
+                penalty: 65
+            }
         );
     }
 }

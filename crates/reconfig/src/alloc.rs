@@ -285,11 +285,7 @@ mod tests {
     #[test]
     fn limit_caps_grants() {
         let p = AllocPolicy::paper().with_limit(1);
-        let incoming = vec![
-            link(1, 4, 0.9),
-            link(2, 5, 0.0),
-            link(3, 6, 0.0),
-        ];
+        let incoming = vec![link(1, 4, 0.9), link(2, 5, 0.0), link(3, 6, 0.0)];
         let grants = p.reconfigure(BoardId(0), &incoming);
         assert_eq!(grants.len(), 1);
     }
@@ -301,12 +297,20 @@ mod tests {
         let p = AllocPolicy::paper();
         let incoming = vec![link(1, 2, 0.0), link(2, 2, 0.0)];
         let demands = vec![
-            FlowDemand { source: BoardId(5), buffer_util: 0.9 },
-            FlowDemand { source: BoardId(2), buffer_util: 0.0 },
+            FlowDemand {
+                source: BoardId(5),
+                buffer_util: 0.9,
+            },
+            FlowDemand {
+                source: BoardId(2),
+                buffer_util: 0.0,
+            },
         ];
         let grants = p.reconfigure_with_demands(BoardId(0), &incoming, &demands);
         assert_eq!(grants.len(), 2);
-        assert!(grants.iter().all(|g| g.to == BoardId(5) && g.from == BoardId(2)));
+        assert!(grants
+            .iter()
+            .all(|g| g.to == BoardId(5) && g.from == BoardId(2)));
     }
 
     #[test]
@@ -316,8 +320,14 @@ mod tests {
         let p = AllocPolicy::paper();
         let incoming = vec![link(1, 3, 0.0), link(2, 4, 0.0)];
         let demands = vec![
-            FlowDemand { source: BoardId(3), buffer_util: 0.9 },
-            FlowDemand { source: BoardId(4), buffer_util: 0.0 },
+            FlowDemand {
+                source: BoardId(3),
+                buffer_util: 0.9,
+            },
+            FlowDemand {
+                source: BoardId(4),
+                buffer_util: 0.0,
+            },
         ];
         let grants = p.reconfigure_with_demands(BoardId(0), &incoming, &demands);
         assert_eq!(grants.len(), 1);
@@ -339,11 +349,7 @@ mod tests {
     #[test]
     fn deterministic_ordering() {
         let p = AllocPolicy::paper();
-        let incoming = vec![
-            link(3, 6, 0.0),
-            link(1, 4, 0.9),
-            link(2, 5, 0.0),
-        ];
+        let incoming = vec![link(3, 6, 0.0), link(1, 4, 0.9), link(2, 5, 0.0)];
         let a = p.reconfigure(BoardId(0), &incoming);
         let b = p.reconfigure(BoardId(0), &incoming);
         assert_eq!(a, b);

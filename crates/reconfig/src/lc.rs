@@ -7,11 +7,11 @@
 //! scaling is locally controlled by the LC."
 
 use crate::msg::{LaserCommand, LinkReading};
+use desim::Cycle;
 use netstats::windowed::WindowedUtilization;
 use photonics::bitrate::RateLevel;
 use photonics::wavelength::{BoardId, Wavelength};
 use powermgmt::regulator::{LinkRegulator, RegulatorAction};
-use desim::Cycle;
 
 /// One link controller: counters + DPM regulator for a single transmitter.
 #[derive(Debug, Clone)]
@@ -36,7 +36,7 @@ impl LinkController {
             link_util: WindowedUtilization::new(window),
             buffer_util: WindowedUtilization::new(window),
             regulator,
-        commands_applied: 0,
+            commands_applied: 0,
         }
     }
 

@@ -297,7 +297,6 @@ mod tests {
     use super::*;
     use photonics::bitrate::RateLevel;
     use photonics::rwa::StaticRwa;
-    
 
     const BOARDS: u16 = 4;
 

@@ -181,7 +181,10 @@ mod tests {
     fn outgoing_table_updates() {
         let mut rc = ReconfigController::new(BoardId(0), 4, AllocPolicy::paper());
         rc.update_outgoing(&[reading(1, Some(3), 0.5, 0.1), reading(2, Some(2), 0.0, 0.0)]);
-        assert_eq!(rc.outgoing(Wavelength(1)).unwrap().destination, Some(BoardId(3)));
+        assert_eq!(
+            rc.outgoing(Wavelength(1)).unwrap().destination,
+            Some(BoardId(3))
+        );
         assert!(rc.outgoing(Wavelength(3)).is_none());
         assert_eq!(rc.board(), BoardId(0));
     }

@@ -72,9 +72,7 @@ impl ProtocolTiming {
                 (self.lcs_per_board as Cycle + 1) * self.lc_hop
             }
             // Full ring loop back to the origin.
-            Stage::BoardRequest | Stage::BoardResponse => {
-                self.boards as Cycle * self.ring_hop
-            }
+            Stage::BoardRequest | Stage::BoardResponse => self.boards as Cycle * self.ring_hop,
             Stage::Reconfigure => self.compute,
         }
     }
@@ -125,8 +123,14 @@ mod tests {
 
     #[test]
     fn latency_scales_with_ring_size() {
-        let small = ProtocolTiming { boards: 4, ..ProtocolTiming::paper64() };
-        let big = ProtocolTiming { boards: 16, ..ProtocolTiming::paper64() };
+        let small = ProtocolTiming {
+            boards: 4,
+            ..ProtocolTiming::paper64()
+        };
+        let big = ProtocolTiming {
+            boards: 16,
+            ..ProtocolTiming::paper64()
+        };
         assert!(big.dbr_latency() > small.dbr_latency());
     }
 }

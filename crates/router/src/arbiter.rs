@@ -77,8 +77,7 @@ impl Arbiter for MatrixArbiter {
     fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.n);
         let winner = (0..self.n).find(|&i| {
-            requests[i]
-                && (0..self.n).all(|j| j == i || !requests[j] || self.prio[i][j])
+            requests[i] && (0..self.n).all(|j| j == i || !requests[j] || self.prio[i][j])
         })?;
         // Winner drops below everyone else.
         for j in 0..self.n {

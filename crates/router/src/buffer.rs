@@ -67,7 +67,11 @@ impl FlitBuffer {
     /// If full — flow control must prevent this; overflow is a protocol
     /// bug, not a droppable condition.
     pub fn push(&mut self, flit: Flit) {
-        assert!(!self.is_full(), "flit buffer overflow (capacity {})", self.capacity);
+        assert!(
+            !self.is_full(),
+            "flit buffer overflow (capacity {})",
+            self.capacity
+        );
         self.fifo.push_back(flit);
         self.peak = self.peak.max(self.fifo.len());
     }

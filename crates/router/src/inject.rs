@@ -7,7 +7,6 @@
 //! packets, not within one). [`FlitInjector`] owns that state machine for
 //! one input port.
 
-use crate::flit::Flit;
 use crate::packet::Packet;
 use crate::routing::PortId;
 use crate::Router;
@@ -19,10 +18,11 @@ pub struct FlitInjector {
     port: PortId,
     /// Packets awaiting injection (head of queue is in progress).
     backlog: VecDeque<Packet>,
-    /// Flits of the in-progress packet not yet injected.
-    current: Vec<Flit>,
-    /// Next flit index within `current`.
-    next: usize,
+    /// The in-progress packet; its flits are computed on demand with
+    /// [`Packet::flit_at`], so starting a packet allocates nothing.
+    current: Option<Packet>,
+    /// Next flit index within the in-progress packet.
+    next: u16,
     /// The VC the in-progress packet was assigned.
     vc: u8,
     /// Round-robin VC cursor for new packets.
@@ -37,7 +37,7 @@ impl FlitInjector {
         Self {
             port,
             backlog: VecDeque::new(),
-            current: Vec::new(),
+            current: None,
             next: 0,
             vc: 0,
             vc_cursor: 0,
@@ -57,12 +57,12 @@ impl FlitInjector {
 
     /// Packets waiting (including the one in progress).
     pub fn backlog_len(&self) -> usize {
-        self.backlog.len() + usize::from(self.next < self.current.len())
+        self.backlog.len() + usize::from(self.current.is_some())
     }
 
     /// True when nothing remains to inject.
     pub fn is_idle(&self) -> bool {
-        self.backlog.is_empty() && self.next >= self.current.len()
+        self.backlog.is_empty() && self.current.is_none()
     }
 
     /// Total flits injected so far.
@@ -74,7 +74,7 @@ impl FlitInjector {
     /// entered the router.
     pub fn tick(&mut self, router: &mut Router) -> bool {
         // Start the next packet if none is in progress.
-        if self.next >= self.current.len() {
+        if self.current.is_none() {
             let Some(pkt) = self.backlog.pop_front() else {
                 return false;
             };
@@ -84,9 +84,7 @@ impl FlitInjector {
             let mut chosen = None;
             for i in 0..vcs {
                 let vc = (self.vc_cursor + i) % vcs;
-                if router.input_space(self.port, vc)
-                    == router.config().buf_depth
-                {
+                if router.input_space(self.port, vc) == router.config().buf_depth {
                     chosen = Some(vc);
                     break;
                 }
@@ -98,17 +96,17 @@ impl FlitInjector {
             };
             self.vc = vc;
             self.vc_cursor = (vc + 1) % vcs;
-            self.current = pkt.flitize();
+            self.current = Some(pkt);
             self.next = 0;
         }
         // Inject the next flit of the in-progress packet if space allows.
+        let pkt = self.current.expect("in-progress packet set above");
         if router.can_accept(self.port, self.vc) {
-            let flit = self.current[self.next];
-            router.inject(self.port, self.vc, flit);
+            router.inject(self.port, self.vc, pkt.flit_at(self.next));
             self.next += 1;
             self.injected_flits += 1;
-            if self.next >= self.current.len() {
-                self.current.clear();
+            if self.next >= pkt.flits {
+                self.current = None;
                 self.next = 0;
             }
             true
@@ -222,7 +220,7 @@ mod tests {
         assert!(inj.tick(&mut r)); // p1 flit 1 → vc0 (complete)
         assert!(inj.tick(&mut r)); // p2 flit 0 → vc1
         assert!(inj.tick(&mut r)); // p2 flit 1 → vc1 (complete)
-        // Both VCs occupied; p3 cannot start.
+                                   // Both VCs occupied; p3 cannot start.
         assert!(!inj.tick(&mut r));
         assert_eq!(inj.backlog_len(), 1);
     }

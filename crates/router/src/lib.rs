@@ -53,5 +53,5 @@ pub mod vc;
 pub use flit::{Flit, FlitKind, NodeId, PacketId};
 pub use inject::FlitInjector;
 pub use packet::Packet;
-pub use router::{Router, RouterConfig};
+pub use router::{Router, RouterConfig, Traversal};
 pub use routing::PortId;

@@ -21,28 +21,35 @@ pub struct Packet {
 }
 
 impl Packet {
+    /// The `i`-th flit of the packet, computed on demand (the injectors
+    /// stream flits without materialising the whole sequence).
+    ///
+    /// # Panics
+    /// If `i >= self.flits` or the packet has no flits.
+    pub fn flit_at(&self, i: u16) -> Flit {
+        assert!(self.flits >= 1);
+        assert!(i < self.flits);
+        let kind = match (self.flits, i) {
+            (1, _) => FlitKind::HeadTail,
+            (_, 0) => FlitKind::Head,
+            (n, i) if i == n - 1 => FlitKind::Tail,
+            _ => FlitKind::Body,
+        };
+        Flit {
+            packet: self.id,
+            kind,
+            src: self.src,
+            dst: self.dst,
+            injected_at: self.injected_at,
+            labelled: self.labelled,
+            seq: i,
+        }
+    }
+
     /// Splits the packet into its flit sequence.
     pub fn flitize(&self) -> Vec<Flit> {
         assert!(self.flits >= 1);
-        (0..self.flits)
-            .map(|i| {
-                let kind = match (self.flits, i) {
-                    (1, _) => FlitKind::HeadTail,
-                    (_, 0) => FlitKind::Head,
-                    (n, i) if i == n - 1 => FlitKind::Tail,
-                    _ => FlitKind::Body,
-                };
-                Flit {
-                    packet: self.id,
-                    kind,
-                    src: self.src,
-                    dst: self.dst,
-                    injected_at: self.injected_at,
-                    labelled: self.labelled,
-                    seq: i,
-                }
-            })
-            .collect()
+        (0..self.flits).map(|i| self.flit_at(i)).collect()
     }
 }
 

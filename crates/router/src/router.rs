@@ -100,6 +100,15 @@ pub struct Router {
     stats: RouterStats,
     /// Flits currently buffered across all input VCs (fast-path check).
     buffered: u64,
+    /// VA scratch: free output VCs at the port under arbitration. Persistent
+    /// so the per-cycle pipeline allocates nothing in steady state.
+    va_free: Vec<usize>,
+    /// VA scratch: request bitmap over (in_port × in_vc).
+    va_requests: Vec<bool>,
+    /// SA scratch: request bitmap over (in_port × in_vc).
+    sa_requests: Vec<bool>,
+    /// SA scratch: input ports already matched this cycle.
+    sa_input_used: Vec<bool>,
 }
 
 impl Router {
@@ -131,6 +140,10 @@ impl Router {
                 .collect(),
             stats: RouterStats::default(),
             buffered: 0,
+            va_free: Vec::with_capacity(cfg.vcs as usize),
+            va_requests: vec![false; requesters],
+            sa_requests: vec![false; requesters],
+            sa_input_used: vec![false; cfg.in_ports as usize],
         }
     }
 
@@ -210,16 +223,30 @@ impl Router {
 
     /// Advances one cycle; returns the flits that traversed the switch.
     ///
+    /// Convenience wrapper over [`Router::step_into`] that allocates a
+    /// fresh result vector — fine for tests and one-off drivers; the
+    /// simulation hot loop should pass a reusable buffer to `step_into`.
+    pub fn step(&mut self, now: Cycle) -> Vec<Traversal> {
+        let mut out = Vec::new();
+        self.step_into(now, &mut out);
+        out
+    }
+
+    /// Advances one cycle, appending the flits that traversed the switch
+    /// to `out` (which is *not* cleared — the caller owns it).
+    ///
     /// Fast path: with no buffered flits there is no RC/VA/SA work —
     /// every pipeline state either is Idle or is an Active VC waiting for
-    /// its next flit — so the cycle is a no-op.
-    pub fn step(&mut self, now: Cycle) -> Vec<Traversal> {
+    /// its next flit — so the cycle is a no-op. All arbitration scratch is
+    /// persistent on the router, so a steady-state cycle performs no heap
+    /// allocation.
+    pub fn step_into(&mut self, now: Cycle, out: &mut Vec<Traversal>) {
         if self.buffered == 0 {
-            return Vec::new();
+            return;
         }
         self.stage_rc(now);
         self.stage_va(now);
-        self.stage_sa_st(now)
+        self.stage_sa_st(now, out);
     }
 
     /// RC: idle VCs with a head flit start route computation; completed
@@ -260,29 +287,38 @@ impl Router {
     /// VA: WaitingVc inputs request a free output VC at their output port.
     fn stage_va(&mut self, now: Cycle) {
         let vcs = self.cfg.vcs as usize;
-        let requesters = self.cfg.in_ports as usize * vcs;
+        // Scratch buffers are persistent fields; take them to sidestep the
+        // borrow of `self` inside the loop.
+        let mut free = std::mem::take(&mut self.va_free);
+        let mut requests = std::mem::take(&mut self.va_requests);
         for out in 0..self.cfg.out_ports as usize {
             // Free output VCs at this port.
-            let free: Vec<usize> = (0..vcs)
-                .filter(|&v| self.out_vc_owner[out][v].is_none())
-                .collect();
+            free.clear();
+            free.extend((0..vcs).filter(|&v| self.out_vc_owner[out][v].is_none()));
             if free.is_empty() {
                 // Count stalled requesters for stats.
                 let stalled = self
                     .inputs
                     .iter()
                     .flatten()
-                    .filter(|ivc| ivc.state == (VcState::WaitingVc { out_port: PortId(out as u16) }))
+                    .filter(|ivc| {
+                        ivc.state
+                            == (VcState::WaitingVc {
+                                out_port: PortId(out as u16),
+                            })
+                    })
                     .count();
                 self.stats.va_stalls += stalled as u64;
                 continue;
             }
             // Gather requests.
-            let mut requests = vec![false; requesters];
+            requests.iter_mut().for_each(|r| *r = false);
             for p in 0..self.cfg.in_ports as usize {
                 for v in 0..vcs {
                     if self.inputs[p][v].state
-                        == (VcState::WaitingVc { out_port: PortId(out as u16) })
+                        == (VcState::WaitingVc {
+                            out_port: PortId(out as u16),
+                        })
                     {
                         requests[p * vcs + v] = true;
                     }
@@ -304,16 +340,19 @@ impl Router {
                 };
             }
         }
+        self.va_free = free;
+        self.va_requests = requests;
     }
 
-    /// SA + ST: separable switch allocation, then traversal.
-    fn stage_sa_st(&mut self, now: Cycle) -> Vec<Traversal> {
+    /// SA + ST: separable switch allocation, then traversal (appended to
+    /// `traversals`).
+    fn stage_sa_st(&mut self, now: Cycle, traversals: &mut Vec<Traversal>) {
         let vcs = self.cfg.vcs as usize;
-        let requesters = self.cfg.in_ports as usize * vcs;
-        let mut input_port_used = vec![false; self.cfg.in_ports as usize];
-        let mut traversals = Vec::new();
+        let mut input_port_used = std::mem::take(&mut self.sa_input_used);
+        let mut requests = std::mem::take(&mut self.sa_requests);
+        input_port_used.iter_mut().for_each(|u| *u = false);
         for out in 0..self.cfg.out_ports as usize {
-            let mut requests = vec![false; requesters];
+            requests.iter_mut().for_each(|r| *r = false);
             let mut any = false;
             for p in 0..self.cfg.in_ports as usize {
                 if input_port_used[p] {
@@ -369,7 +408,8 @@ impl Router {
                 in_vc: v as u8,
             });
         }
-        traversals
+        self.sa_input_used = input_port_used;
+        self.sa_requests = requests;
     }
 }
 
@@ -472,11 +512,7 @@ mod tests {
         let mut r = small(4, 8);
         let a = packet(1, 0, 4);
         let b = packet(2, 1, 4);
-        let log = run(
-            &mut r,
-            vec![(PortId(0), 0, a), (PortId(1), 0, b)],
-            40,
-        );
+        let log = run(&mut r, vec![(PortId(0), 0, a), (PortId(1), 0, b)], 40);
         assert_eq!(log.len(), 8);
         let to0 = log.iter().filter(|(_, t)| t.out_port == PortId(0)).count();
         let to1 = log.iter().filter(|(_, t)| t.out_port == PortId(1)).count();
@@ -489,17 +525,16 @@ mod tests {
         let a = packet(1, 1, 6);
         let b = packet(2, 1, 6);
         // Different input ports, same destination.
-        let log = run(
-            &mut r,
-            vec![(PortId(0), 0, a), (PortId(1), 0, b)],
-            100,
-        );
+        let log = run(&mut r, vec![(PortId(0), 0, a), (PortId(1), 0, b)], 100);
         assert_eq!(log.len(), 12);
         // Output port serialises: no cycle emits two flits on port 1.
         let mut cycles_seen = std::collections::HashSet::new();
         for (c, t) in &log {
             assert_eq!(t.out_port, PortId(1));
-            assert!(cycles_seen.insert(*c), "two flits on one output in cycle {c}");
+            assert!(
+                cycles_seen.insert(*c),
+                "two flits on one output in cycle {c}"
+            );
         }
         // Per-packet flit order is preserved.
         for pid in [1u64, 2] {
@@ -517,11 +552,7 @@ mod tests {
         let mut r = small(4, 8);
         let a = packet(1, 1, 4);
         let b = packet(2, 0, 4);
-        let log = run(
-            &mut r,
-            vec![(PortId(0), 0, a), (PortId(0), 1, b)],
-            100,
-        );
+        let log = run(&mut r, vec![(PortId(0), 0, a), (PortId(0), 1, b)], 100);
         assert_eq!(log.len(), 8);
         // One input port: at most one traversal per cycle overall.
         let mut cycles_seen = std::collections::HashSet::new();

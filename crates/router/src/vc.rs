@@ -98,7 +98,9 @@ mod tests {
     fn routed_port_by_state() {
         let mut vc = InputVc::new(2);
         vc.buffer.push(head());
-        vc.state = VcState::WaitingVc { out_port: PortId(3) };
+        vc.state = VcState::WaitingVc {
+            out_port: PortId(3),
+        };
         assert_eq!(vc.routed_port(), Some(PortId(3)));
         vc.state = VcState::Active {
             out_port: PortId(3),

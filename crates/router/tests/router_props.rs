@@ -1,8 +1,12 @@
-//! Property-based tests of the router under randomized traffic: no flit is
-//! lost or duplicated, per-packet flit order is preserved, and every packet
-//! reaches the output port its destination routes to.
+//! Randomized tests of the router: no flit is lost or duplicated, per-packet
+//! flit order is preserved, and every packet reaches the output port its
+//! destination routes to.
+//!
+//! Cases are generated from fixed-seed `desim::rng` streams (no external
+//! property-testing crate — the build runs offline), so every failure
+//! reproduces exactly.
 
-use proptest::prelude::*;
+use desim::rng::Pcg32;
 use router::flit::{NodeId, PacketId};
 use router::inject::FlitInjector;
 use router::packet::Packet;
@@ -30,7 +34,8 @@ fn drive(
         },
         Box::new(TableRoute::new(table)),
     );
-    let mut injectors: Vec<FlitInjector> = (0..ports).map(|p| FlitInjector::new(PortId(p))).collect();
+    let mut injectors: Vec<FlitInjector> =
+        (0..ports).map(|p| FlitInjector::new(PortId(p))).collect();
     let total_flits: u64 = packets.iter().map(|p| p.flits as u64).sum();
     for p in &packets {
         injectors[p.src.index() % ports as usize].enqueue(*p);
@@ -55,7 +60,13 @@ fn drive(
         }
         for t in router.step(now) {
             pending_credits.push((now + 1, t.out_port, t.out_vc));
-            log.push((now, t.out_port, t.flit.packet, t.flit.seq, t.flit.kind.is_tail()));
+            log.push((
+                now,
+                t.out_port,
+                t.flit.packet,
+                t.flit.seq,
+                t.flit.kind.is_tail(),
+            ));
             seen += 1;
         }
         now += 1;
@@ -63,59 +74,59 @@ fn drive(
     log
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_traffic_conserves_and_orders_flits(
-        specs in prop::collection::vec((0u32..4, 0u32..4, 1u16..6), 1..40),
-        vcs in 1u8..4,
-        buf_depth in 1usize..4,
-        downstream in 1u32..8,
-    ) {
-        let packets: Vec<Packet> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, &(src, dst, flits))| Packet {
+#[test]
+fn random_traffic_conserves_and_orders_flits() {
+    let mut rng = Pcg32::stream(0x0407_7E57, 0);
+    for _case in 0..24 {
+        let count = 1 + rng.below(39) as usize;
+        let packets: Vec<Packet> = (0..count)
+            .map(|i| Packet {
                 id: PacketId(i as u64),
-                src: NodeId(src),
-                dst: NodeId(dst),
-                flits,
+                src: NodeId(rng.below(4)),
+                dst: NodeId(rng.below(4)),
+                flits: rng.range(1, 5) as u16,
                 injected_at: 0,
                 labelled: false,
             })
             .collect();
+        let vcs = rng.range(1, 3) as u8;
+        let buf_depth = rng.range(1, 3) as usize;
+        let downstream = rng.range(1, 7);
         let total_flits: u64 = packets.iter().map(|p| p.flits as u64).sum();
         let log = drive(4, vcs, buf_depth, downstream, packets.clone());
         // Conservation: every flit traverses exactly once.
-        prop_assert_eq!(log.len() as u64, total_flits, "flits lost or stuck");
+        assert_eq!(log.len() as u64, total_flits, "flits lost or stuck");
         // Per-packet: in-order seqs, single output port, tail last.
         let mut per_packet: HashMap<PacketId, Vec<(u64, PortId, u16, bool)>> = HashMap::new();
         for &(t, port, id, seq, tail) in &log {
             per_packet.entry(id).or_default().push((t, port, seq, tail));
         }
-        prop_assert_eq!(per_packet.len(), packets.len());
+        assert_eq!(per_packet.len(), packets.len());
         for p in &packets {
             let entries = &per_packet[&p.id];
-            prop_assert_eq!(entries.len(), p.flits as usize);
+            assert_eq!(entries.len(), p.flits as usize);
             // Flit seq strictly increasing in traversal order.
             for w in entries.windows(2) {
-                prop_assert!(w[0].2 < w[1].2, "packet {:?} out of order", p.id);
-                prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+                assert!(w[0].2 < w[1].2, "packet {:?} out of order", p.id);
+                assert!(w[0].0 <= w[1].0, "time went backwards");
             }
             // All flits exit through the routed port.
             let expect = PortId(p.dst.0 as u16);
-            prop_assert!(entries.iter().all(|e| e.1 == expect));
+            assert!(entries.iter().all(|e| e.1 == expect));
             // Tail is the final flit.
-            prop_assert!(entries.last().unwrap().3, "tail not last");
-            prop_assert!(entries[..entries.len() - 1].iter().all(|e| !e.3));
+            assert!(entries.last().unwrap().3, "tail not last");
+            assert!(entries[..entries.len() - 1].iter().all(|e| !e.3));
         }
     }
+}
 
-    /// A router is work-conserving at an uncontended output: a single flow
-    /// sustains one flit per cycle once the pipeline fills.
-    #[test]
-    fn single_flow_throughput_is_full_rate(flits in 8u16..40) {
+/// A router is work-conserving at an uncontended output: a single flow
+/// sustains one flit per cycle once the pipeline fills.
+#[test]
+fn single_flow_throughput_is_full_rate() {
+    let mut rng = Pcg32::stream(0x51_4A7E, 0);
+    for _case in 0..8 {
+        let flits = rng.range(8, 39) as u16;
         let packets = vec![Packet {
             id: PacketId(0),
             src: NodeId(0),
@@ -125,11 +136,11 @@ proptest! {
             labelled: false,
         }];
         let log = drive(4, 2, 4, 64, packets);
-        prop_assert_eq!(log.len(), flits as usize);
+        assert_eq!(log.len(), flits as usize);
         // After the head's RC+VA, flits move back-to-back: the span from
         // first to last traversal is exactly flits-1 cycles.
         let first = log.first().unwrap().0;
         let last = log.last().unwrap().0;
-        prop_assert_eq!(last - first, (flits - 1) as u64, "bubbles in the pipeline");
+        assert_eq!(last - first, (flits - 1) as u64, "bubbles in the pipeline");
     }
 }

@@ -107,10 +107,9 @@ impl Chart {
                 if !x.is_finite() || !y.is_finite() {
                     continue;
                 }
-                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let cy = ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((y - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy;
                 let cell = &mut grid[row][cx];
                 // Overlap: later series win, but mark collisions distinctly.
@@ -137,12 +136,7 @@ impl Chart {
             let line: String = row.iter().collect();
             let _ = writeln!(out, "{label} |{line}");
         }
-        let _ = writeln!(
-            out,
-            "{} +{}",
-            " ".repeat(margin),
-            "-".repeat(self.width)
-        );
+        let _ = writeln!(out, "{} +{}", " ".repeat(margin), "-".repeat(self.width));
         let _ = writeln!(
             out,
             "{}  {:<w$}{:>8}",

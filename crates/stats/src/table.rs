@@ -184,8 +184,7 @@ mod tests {
 
     #[test]
     fn custom_aligns() {
-        let mut t =
-            Table::new(vec!["a", "b"]).with_aligns(vec![Align::Right, Align::Left]);
+        let mut t = Table::new(vec!["a", "b"]).with_aligns(vec![Align::Right, Align::Left]);
         t.row(vec!["1", "x"]);
         let s = t.render();
         assert!(s.contains("| 1 | x"));

@@ -93,7 +93,11 @@ impl OnOffSource {
         if self.rng.bernoulli(exit_p) {
             self.is_on = !self.is_on;
         }
-        let rate = if self.is_on { self.on_rate } else { self.off_rate };
+        let rate = if self.is_on {
+            self.on_rate
+        } else {
+            self.off_rate
+        };
         if self.rng.bernoulli(rate) {
             self.generated += 1;
             true

@@ -20,20 +20,31 @@ fn main() {
     let timing = ProtocolTiming::paper64();
     println!("=== one Lock-Step DBR round, 8 boards, message-level ===\n");
     println!("stage latencies:");
-    println!("  Link Request  : {:>3} cycles (RC → {} LCs → RC)",
+    println!(
+        "  Link Request  : {:>3} cycles (RC → {} LCs → RC)",
         timing.stage_cycles(erapid_suite::reconfig::stages::Stage::LinkRequest),
-        timing.lcs_per_board);
-    println!("  Board Request : {:>3} cycles ({} ring hops × {})",
+        timing.lcs_per_board
+    );
+    println!(
+        "  Board Request : {:>3} cycles ({} ring hops × {})",
         timing.stage_cycles(erapid_suite::reconfig::stages::Stage::BoardRequest),
-        timing.boards, timing.ring_hop);
+        timing.boards,
+        timing.ring_hop
+    );
     println!("  Reconfigure   : {:>3} cycles", timing.compute);
-    println!("  Board Response: {:>3} cycles",
-        timing.stage_cycles(erapid_suite::reconfig::stages::Stage::BoardResponse));
-    println!("  Link Response : {:>3} cycles",
-        timing.stage_cycles(erapid_suite::reconfig::stages::Stage::LinkResponse));
-    println!("  total         : {:>3} cycles (R_w = 2000: {:.1}% overhead)\n",
+    println!(
+        "  Board Response: {:>3} cycles",
+        timing.stage_cycles(erapid_suite::reconfig::stages::Stage::BoardResponse)
+    );
+    println!(
+        "  Link Response : {:>3} cycles",
+        timing.stage_cycles(erapid_suite::reconfig::stages::Stage::LinkResponse)
+    );
+    println!(
+        "  total         : {:>3} cycles (R_w = 2000: {:.1}% overhead)\n",
         timing.dbr_latency(),
-        timing.dbr_latency() as f64 / 2000.0 * 100.0);
+        timing.dbr_latency() as f64 / 2000.0 * 100.0
+    );
 
     // The complement hot spot: board 0's flow to board 7 is congested,
     // all other flows toward board 7 are idle.

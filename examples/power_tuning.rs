@@ -23,7 +23,13 @@ fn main() {
 
     println!("=== DPM threshold sweep (P-B system, uniform traffic, load {load}) ===\n");
     let mut t = Table::new(vec![
-        "L_min", "L_max", "B_max", "thr", "lat (cyc)", "power (mW)", "retunes",
+        "L_min",
+        "L_max",
+        "B_max",
+        "thr",
+        "lat (cyc)",
+        "power (mW)",
+        "retunes",
     ])
     .with_title("64-node E-RAPID; the paper's setting is (0.7, 0.9, 0.3)");
     for (l_min, l_max, b_max) in [

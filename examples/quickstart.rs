@@ -40,14 +40,23 @@ fn main() {
 
     // 4. Report.
     println!("\nresults at load {:.1}:", r.load);
-    println!("  accepted throughput : {:.4} packets/node/cycle ({:.0}% of N_c)",
-        r.throughput, r.throughput_norm * 100.0);
-    println!("  mean latency        : {:.1} cycles ({:.0} ns at 400 MHz)",
-        r.latency, r.latency * 2.5);
+    println!(
+        "  accepted throughput : {:.4} packets/node/cycle ({:.0}% of N_c)",
+        r.throughput,
+        r.throughput_norm * 100.0
+    );
+    println!(
+        "  mean latency        : {:.1} cycles ({:.0} ns at 400 MHz)",
+        r.latency,
+        r.latency * 2.5
+    );
     println!("  p95 latency         : {:.0} cycles", r.latency_p95);
     println!("  optical power       : {:.1} mW", r.power_mw);
     println!("  DPM retunes         : {}", r.retunes);
     println!("  DBR grants          : {}", r.grants);
     println!("  simulated cycles    : {}", r.cycles);
-    assert_eq!(r.undrained, 0, "all measured packets must drain at this load");
+    assert_eq!(
+        r.undrained, 0,
+        "all measured packets must drain at this load"
+    );
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local verification: everything CI (or the next contributor) expects
+# to pass, in the order that fails fastest.
+#
+#   scripts/verify.sh
+#
+# Runs entirely offline against the workspace at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test -q =="
+cargo test -q --workspace
+
+echo "verify: all checks passed"

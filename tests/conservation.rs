@@ -3,10 +3,10 @@
 //! never loses or duplicates a packet, under every mode, pattern and load.
 
 use erapid_suite::desim::phase::PhasePlan;
+use erapid_suite::desim::rng::Pcg32;
 use erapid_suite::erapid_core::config::{BurstSpec, NetworkMode, SystemConfig};
 use erapid_suite::erapid_core::system::System;
 use erapid_suite::traffic::pattern::TrafficPattern;
-use proptest::prelude::*;
 
 fn plan() -> PhasePlan {
     PhasePlan::new(2000, 4000).with_max_cycles(60_000)
@@ -81,20 +81,20 @@ fn conservation_bursty() {
     check_conservation(sys, true);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Random small configurations: no panics, conservation holds.
-    #[test]
-    fn conservation_random_configs(
-        mode_idx in 0usize..4,
-        load in 0.1f64..0.8,
-        seed in 0u64..1_000,
-        window in prop::sample::select(vec![500u64, 1000, 2000]),
-        pattern_idx in 0usize..4,
-    ) {
-        let mode = NetworkMode::all()[mode_idx];
-        let pattern = TrafficPattern::paper_suite()[pattern_idx].1.clone();
+/// Random small configurations (deterministic PCG32 cases): no panics,
+/// conservation holds, and the WDM invariant survives every run.
+#[test]
+fn conservation_random_configs() {
+    let mut rng = Pcg32::stream(0xC0_45E2, 0);
+    let windows = [500u64, 1000, 2000];
+    for _case in 0..12 {
+        let mode = NetworkMode::all()[rng.below(4) as usize];
+        let load = 0.1 + 0.7 * rng.next_f64();
+        let seed = rng.below(1_000) as u64;
+        let window = windows[rng.below(3) as usize];
+        let pattern = TrafficPattern::paper_suite()[rng.below(4) as usize]
+            .1
+            .clone();
         let mut cfg = SystemConfig::small(mode);
         cfg.seed = seed;
         cfg.schedule = erapid_suite::reconfig::lockstep::LockStepSchedule::new(window);
@@ -102,7 +102,10 @@ proptest! {
         let mut sys = System::new(cfg, pattern, load, short);
         sys.run();
         let m = sys.metrics();
-        prop_assert!(m.delivered_total <= m.injected_total);
+        assert!(
+            m.delivered_total <= m.injected_total,
+            "mode {mode:?} seed {seed} window {window}: delivered > injected"
+        );
         // The WDM invariant must hold at the end of any run: each
         // (destination, wavelength) has at most one lit channel.
         let srs = sys.srs();
@@ -111,7 +114,7 @@ proptest! {
                 let lit = (0..4u16)
                     .filter(|&s| s != d && srs.channel(s, d, w).is_on())
                     .count();
-                prop_assert!(lit <= 1, "WDM collision at (B{d}, λ{w}): {lit} lit");
+                assert!(lit <= 1, "WDM collision at (B{d}, λ{w}): {lit} lit");
             }
         }
     }

@@ -64,7 +64,10 @@ fn mode_change_does_not_perturb_injection_draws() {
         }
         totals.push(sys.metrics().injected_total);
     }
-    assert_eq!(totals[0], totals[1], "injected totals must match across modes");
+    assert_eq!(
+        totals[0], totals[1],
+        "injected totals must match across modes"
+    );
 }
 
 #[test]
@@ -92,6 +95,102 @@ fn trace_record_replay_round_trip() {
     assert_eq!(replayed.len(), total);
     assert_eq!(replayed, entries);
     assert!(replay.is_done());
+}
+
+#[test]
+fn parallel_sweep_identical_to_sequential() {
+    // The run-level executor must be invisible in the results: the same
+    // sweep on 1 thread and on 4 threads returns the same RunResults —
+    // every field, in the same order.
+    use erapid_suite::erapid_core::experiment::sweep_loads_with;
+    use std::num::NonZeroUsize;
+    let loads = [0.2, 0.5, 0.8];
+    for mode in [NetworkMode::NpNb, NetworkMode::PB] {
+        let make_cfg = |m| {
+            let mut cfg = SystemConfig::small(m);
+            cfg.seed = 11;
+            cfg
+        };
+        let seq = sweep_loads_with(
+            NonZeroUsize::new(1).unwrap(),
+            mode,
+            &TrafficPattern::Complement,
+            &loads,
+            make_cfg,
+        );
+        let par = sweep_loads_with(
+            NonZeroUsize::new(4).unwrap(),
+            mode,
+            &TrafficPattern::Complement,
+            &loads,
+            make_cfg,
+        );
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            // Full-struct equality: every field of every RunResult.
+            assert_eq!(
+                s, p,
+                "mode {mode:?} load {} diverged under parallel execution",
+                s.load
+            );
+        }
+    }
+}
+
+#[test]
+fn board_step_buffer_reuse_conserves_deliveries() {
+    // Regression for the zero-allocation hot path: driving a board through
+    // `step_into` with one reused (dirty-capacity) buffer must produce the
+    // exact same delivery stream as the allocating `step` wrapper — no
+    // dropped, duplicated or reordered deliveries.
+    use erapid_suite::desim::rng::Pcg32;
+    use erapid_suite::erapid_core::board::Board;
+    use erapid_suite::router::flit::{NodeId, PacketId};
+    use erapid_suite::router::packet::Packet;
+
+    let cfg = SystemConfig::small(NetworkMode::NpNb);
+    let d = cfg.nodes_per_board as u32;
+    let mut fresh = Board::new(&cfg, 0);
+    let mut reused = Board::new(&cfg, 0);
+    let mut rng = Pcg32::stream(0xB0A2D, 0);
+    let mut scratch = Vec::new();
+    let mut next_id = 0u64;
+    let mut injected = 0u64;
+    let mut delivered = 0u64;
+    for now in 0..4000u64 {
+        // Identical local-destination traffic into both boards (local
+        // ejection is the path that produces `Delivered` records).
+        if now < 3000 && rng.bernoulli(0.4) {
+            let src = rng.below(d);
+            let dst = rng.below(d);
+            let pkt = Packet {
+                id: PacketId(next_id),
+                src: NodeId(src),
+                dst: NodeId(dst),
+                flits: cfg.packet_flits,
+                injected_at: now,
+                labelled: true,
+            };
+            next_id += 1;
+            injected += 1;
+            fresh.enqueue_node_packet(src as u16, pkt);
+            reused.enqueue_node_packet(src as u16, pkt);
+        }
+        let a = fresh.step(now);
+        scratch.clear();
+        reused.step_into(now, &mut scratch);
+        assert_eq!(a, scratch, "delivery stream diverged at cycle {now}");
+        delivered += a.len() as u64;
+    }
+    assert!(
+        delivered > 100,
+        "test must exercise real traffic: {delivered}"
+    );
+    assert_eq!(
+        delivered, injected,
+        "buffer reuse dropped deliveries ({delivered}/{injected})"
+    );
+    assert!(fresh.is_idle() && reused.is_idle());
 }
 
 #[test]

@@ -25,7 +25,10 @@ fn uniform_reconfiguration_is_a_noop() {
     // if reconfiguration is necessary."
     let base = run(NetworkMode::NpNb, TrafficPattern::Uniform, 0.5);
     let reconf = run(NetworkMode::NpB, TrafficPattern::Uniform, 0.5);
-    assert_eq!(reconf.grants, 0, "balanced load leaves nothing to re-allocate");
+    assert_eq!(
+        reconf.grants, 0,
+        "balanced load leaves nothing to re-allocate"
+    );
     let dthr = (reconf.throughput - base.throughput).abs() / base.throughput;
     assert!(dthr < 0.02, "throughput difference {dthr} too large");
     let dlat = (reconf.latency - base.latency).abs() / base.latency;
@@ -78,7 +81,10 @@ fn complement_np_nb_equals_p_nb_throughput() {
     let b = run(NetworkMode::PNb, TrafficPattern::Complement, 0.7);
     let dthr = (a.throughput - b.throughput).abs() / a.throughput;
     assert!(dthr < 0.05, "throughput difference {dthr}");
-    assert!(b.power_mw <= a.power_mw * 1.01, "P-NB never costs more power");
+    assert!(
+        b.power_mw <= a.power_mw * 1.01,
+        "P-NB never costs more power"
+    );
 }
 
 #[test]
@@ -149,7 +155,11 @@ fn offered_equals_accepted_below_saturation() {
             .capacity()
             .injection_rate(load);
         let err = (r.throughput - offered).abs() / offered;
-        assert!(err < 0.15, "load {load}: accepted {} vs offered {offered}", r.throughput);
+        assert!(
+            err < 0.15,
+            "load {load}: accepted {} vs offered {offered}",
+            r.throughput
+        );
         assert_eq!(r.undrained, 0);
     }
 }

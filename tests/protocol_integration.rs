@@ -145,7 +145,9 @@ fn five_stage_dbr_round_reallocates_toward_the_hot_flow() {
     }
     // Board 0 turns two lasers on; boards 1 and 2 turn one off each.
     assert_eq!(commands[0].len(), 2);
-    assert!(commands[0].iter().all(|c| c.on && c.destination == BoardId(3)));
+    assert!(commands[0]
+        .iter()
+        .all(|c| c.on && c.destination == BoardId(3)));
     assert_eq!(commands[1].len(), 1);
     assert!(!commands[1][0].on);
     assert_eq!(commands[2].len(), 1);
