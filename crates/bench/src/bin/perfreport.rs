@@ -10,42 +10,13 @@
 //! ERAPID_THREADS=4 cargo run --release -p erapid-bench --bin perfreport
 //! ```
 
-use erapid_bench::BenchConfig;
+use erapid_bench::{git_sha, BenchConfig};
 use erapid_core::config::{NetworkMode, SystemConfig};
 use erapid_core::experiment::default_plan;
 use erapid_core::runner::{run_points, RunPoint};
 use std::num::NonZeroUsize;
 use std::time::Instant;
 use traffic::pattern::TrafficPattern;
-
-/// Short commit hash, read straight from `.git` (works offline, no git
-/// binary needed). "unknown" outside a checkout.
-fn git_sha() -> String {
-    let head = std::fs::read_to_string(".git/HEAD").unwrap_or_default();
-    let head = head.trim();
-    let full = if let Some(refname) = head.strip_prefix("ref: ") {
-        let refname = refname.trim();
-        std::fs::read_to_string(format!(".git/{refname}"))
-            .map(|s| s.trim().to_string())
-            .ok()
-            .filter(|s| !s.is_empty())
-            .or_else(|| {
-                let packed = std::fs::read_to_string(".git/packed-refs").ok()?;
-                packed.lines().find_map(|l| {
-                    let (sha, name) = l.split_once(' ')?;
-                    (name == refname).then(|| sha.to_string())
-                })
-            })
-            .unwrap_or_default()
-    } else {
-        head.to_string()
-    };
-    if full.is_empty() {
-        "unknown".to_string()
-    } else {
-        full[..full.len().min(12)].to_string()
-    }
-}
 
 /// Peak resident set size in kB (`VmHWM` from /proc, Linux only; 0
 /// elsewhere).

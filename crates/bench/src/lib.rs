@@ -25,6 +25,37 @@ use traffic::pattern::TrafficPattern;
 
 pub mod timing;
 
+/// Short commit hash, read straight from `.git` (works offline, no git
+/// binary needed). "unknown" outside a checkout. Shared by the binaries
+/// that stamp their JSON reports (`BENCH_<sha>.json`,
+/// `RESILIENCE_<sha>.json`) so the names agree for one commit.
+pub fn git_sha() -> String {
+    let head = std::fs::read_to_string(".git/HEAD").unwrap_or_default();
+    let head = head.trim();
+    let full = if let Some(refname) = head.strip_prefix("ref: ") {
+        let refname = refname.trim();
+        std::fs::read_to_string(format!(".git/{refname}"))
+            .map(|s| s.trim().to_string())
+            .ok()
+            .filter(|s| !s.is_empty())
+            .or_else(|| {
+                let packed = std::fs::read_to_string(".git/packed-refs").ok()?;
+                packed.lines().find_map(|l| {
+                    let (sha, name) = l.split_once(' ')?;
+                    (name == refname).then(|| sha.to_string())
+                })
+            })
+            .unwrap_or_default()
+    } else {
+        head.to_string()
+    };
+    if full.is_empty() {
+        "unknown".to_string()
+    } else {
+        full[..full.len().min(12)].to_string()
+    }
+}
+
 /// Parsed harness configuration: every env knob, read once.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {

@@ -1,6 +1,8 @@
 //! System configuration: the R(C,B,D) tuple, the four network modes, and
 //! the paper's parameter presets (Table 1).
 
+use crate::error::ErapidError;
+use crate::faults::FaultPlan;
 use photonics::bitrate::RateLadder;
 use photonics::fiber::Fiber;
 use photonics::power::LinkPowerModel;
@@ -9,6 +11,7 @@ use powermgmt::policy::DpmPolicy;
 use powermgmt::transition::TransitionModel;
 use reconfig::alloc::AllocPolicy;
 use reconfig::lockstep::LockStepSchedule;
+use reconfig::protocol::RetryPolicy;
 use reconfig::stages::ProtocolTiming;
 
 /// The four evaluated network configurations (§3, Fig. 3).
@@ -133,6 +136,10 @@ pub struct SystemConfig {
     pub serdes: Serdes,
     /// Master RNG seed.
     pub seed: u64,
+    /// Deterministic fault schedule (empty = fault-free, the default).
+    pub faults: FaultPlan,
+    /// LS control-plane detection/recovery policy.
+    pub retry: RetryPolicy,
 }
 
 impl SystemConfig {
@@ -159,6 +166,8 @@ impl SystemConfig {
             fiber: Fiber::rack_scale(),
             serdes: Serdes::paper(),
             seed: 0xE4A9_1D07,
+            faults: FaultPlan::new(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -216,23 +225,46 @@ impl SystemConfig {
         }
     }
 
-    /// Validates internal consistency.
+    /// Checks internal consistency, reporting the first problem as a
+    /// typed error (including every fault event targeting hardware that
+    /// exists, via [`FaultPlan::validate`]).
+    pub fn try_validate(&self) -> Result<(), ErapidError> {
+        let fail = |msg: &str| Err(ErapidError::Config(msg.into()));
+        if self.clusters != 1 {
+            return fail("multi-cluster systems are future work");
+        }
+        if self.boards < 2 {
+            return fail("need at least two boards");
+        }
+        if self.nodes_per_board < 1 {
+            return fail("need at least one node per board");
+        }
+        if self.packet_flits < 1 {
+            return fail("packets must carry at least one flit");
+        }
+        if self.vcs < 1 {
+            return fail("need at least one VC");
+        }
+        if self.buf_depth < 1 {
+            return fail("need at least one buffer slot");
+        }
+        if self.tx_queue_flits < self.packet_flits as u32 {
+            return fail("TX queue must hold at least one packet");
+        }
+        if self.ladder.len() != self.power_model.ladder().len() {
+            return fail("power model must cover the ladder");
+        }
+        self.faults.validate(self.boards)?;
+        Ok(())
+    }
+
+    /// Validates internal consistency, aborting on the first problem
+    /// (construction-time contract; see [`SystemConfig::try_validate`] for
+    /// the non-aborting form).
     pub fn validate(&self) {
-        assert_eq!(self.clusters, 1, "multi-cluster systems are future work");
-        assert!(self.boards >= 2);
-        assert!(self.nodes_per_board >= 1);
-        assert!(self.packet_flits >= 1);
-        assert!(self.vcs >= 1);
-        assert!(self.buf_depth >= 1);
-        assert!(
-            self.tx_queue_flits >= self.packet_flits as u32,
-            "TX queue must hold at least one packet"
-        );
-        assert_eq!(
-            self.ladder.len(),
-            self.power_model.ladder().len(),
-            "power model must cover the ladder"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("invalid SystemConfig: {e}");
+        }
     }
 }
 
@@ -310,5 +342,26 @@ mod tests {
         let mut c = SystemConfig::paper64(NetworkMode::NpNb);
         c.tx_queue_flits = 4;
         c.validate();
+    }
+
+    #[test]
+    fn try_validate_reports_typed_errors() {
+        let mut c = SystemConfig::paper64(NetworkMode::PB);
+        assert!(c.try_validate().is_ok());
+        c.tx_queue_flits = 4;
+        assert!(matches!(c.try_validate(), Err(ErapidError::Config(_))));
+        // Fault plans are validated against the geometry too.
+        let mut c = SystemConfig::small(NetworkMode::PB);
+        c.faults = FaultPlan::new().at(
+            10,
+            crate::faults::FaultKind::ReceiverDown {
+                board: 9,
+                wavelength: 1,
+            },
+        );
+        assert!(matches!(
+            c.try_validate(),
+            Err(ErapidError::FaultTarget { at: 10, .. })
+        ));
     }
 }

@@ -1,0 +1,77 @@
+//! Typed errors for the system model.
+//!
+//! Library code in `erapid-core` (and the crates below it) must not abort
+//! on conditions a caller can meaningfully handle — an invalid
+//! configuration, a fault event aimed at hardware that does not exist, or
+//! a control-plane round that exhausted its retries. Those surface as
+//! [`ErapidError`] values; `panic!`/`assert!` remain reserved for genuine
+//! internal invariant violations.
+
+use desim::Cycle;
+use reconfig::protocol::ProtocolError;
+
+/// Any recoverable error the system model can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErapidError {
+    /// The [`crate::config::SystemConfig`] is internally inconsistent.
+    Config(String),
+    /// A fault event targets hardware outside the configured system.
+    FaultTarget {
+        /// The event's scheduled cycle.
+        at: Cycle,
+        /// What was wrong with the target.
+        reason: String,
+    },
+    /// The LS control protocol failed permanently (retries exhausted).
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for ErapidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErapidError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            ErapidError::FaultTarget { at, reason } => {
+                write!(f, "invalid fault event at cycle {at}: {reason}")
+            }
+            ErapidError::Protocol(e) => write!(f, "control protocol failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ErapidError {}
+
+impl From<ProtocolError> for ErapidError {
+    fn from(e: ProtocolError) -> Self {
+        ErapidError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reconfig::stages::Stage;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ErapidError::Config("TX queue must hold at least one packet".into());
+        assert!(e.to_string().contains("at least one packet"));
+        let e = ErapidError::FaultTarget {
+            at: 42,
+            reason: "board 9 out of range".into(),
+        };
+        assert!(e.to_string().contains("cycle 42"));
+        let e: ErapidError = ProtocolError::RingStalled {
+            stage: Stage::BoardRequest,
+            attempts: 3,
+        }
+        .into();
+        assert!(matches!(e, ErapidError::Protocol(_)));
+        assert!(e.to_string().contains("protocol"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(ErapidError::Config("x".into()));
+        assert!(!e.to_string().is_empty());
+    }
+}

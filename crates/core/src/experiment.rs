@@ -38,6 +38,10 @@ pub struct RunResult {
     pub grants: u64,
     /// Bit-rate transitions applied (DPM activity).
     pub retunes: u64,
+    /// LS token resends performed by the control-plane watchdog.
+    pub ls_retries: u64,
+    /// DBR rounds aborted fail-safe (retry budget exhausted).
+    pub ls_aborts: u64,
     /// Final cycle of the run.
     pub cycles: Cycle,
 }
@@ -60,6 +64,7 @@ pub fn run_once(
     let cycles = sys.run();
     let m = sys.metrics();
     let (grants, retunes) = sys.srs().reconfig_counts();
+    let (ls_retries, ls_aborts) = sys.control_stats();
     RunResult {
         load,
         throughput: m.throughput_ppc(),
@@ -72,6 +77,8 @@ pub fn run_once(
         undrained: m.tracker.outstanding(),
         grants,
         retunes,
+        ls_retries,
+        ls_aborts,
         cycles,
     }
 }

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # erapid-core — the E-RAPID system model
 //!
 //! This crate is the paper's primary contribution assembled from the
@@ -33,7 +34,12 @@
 //!   counters),
 //! * [`experiment`] — load sweeps and the figure-series runner,
 //! * [`runner`] — the parallel run-level executor fanning independent
-//!   experiment points over a worker pool (`ERAPID_THREADS`).
+//!   experiment points over a worker pool (`ERAPID_THREADS`),
+//! * [`faults`] — deterministic, seed-reproducible fault-event scheduling
+//!   (receiver/transmitter outages, stuck LCs, CDR relocks, LS token
+//!   faults),
+//! * [`error`] — the typed [`ErapidError`] the library reports instead of
+//!   aborting.
 
 //!
 //! ## Example: one experiment point
@@ -54,7 +60,9 @@
 
 pub mod board;
 pub mod config;
+pub mod error;
 pub mod experiment;
+pub mod faults;
 pub mod inject;
 pub mod metrics;
 pub mod runner;
@@ -63,6 +71,8 @@ pub mod system;
 pub mod txqueue;
 
 pub use config::{NetworkMode, SystemConfig};
+pub use error::ErapidError;
 pub use experiment::{run_once, sweep_loads, sweep_loads_with, RunResult};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use runner::{parallel_map, run_points, RunPoint};
 pub use system::System;

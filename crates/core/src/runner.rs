@@ -71,24 +71,28 @@ where
                 if i >= n {
                     break;
                 }
-                let item = jobs[i]
-                    .lock()
-                    .expect("job mutex poisoned")
-                    .take()
-                    .expect("each job claimed exactly once");
+                // Lock poisoning only means another worker panicked while
+                // holding the lock; the data (a plain Option) is still
+                // sound, so recover it rather than aborting this worker.
+                let taken = jobs[i].lock().unwrap_or_else(|e| e.into_inner()).take();
+                let Some(item) = taken else {
+                    // Unreachable: the atomic counter hands each index to
+                    // exactly one worker.
+                    continue;
+                };
                 let result = f(item);
-                *slots[i].lock().expect("slot mutex poisoned") = Some(result);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
             });
         }
     });
-    slots
+    let results: Vec<R> = slots
         .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("slot mutex poisoned")
-                .expect("every slot filled before scope join")
-        })
-        .collect()
+        .filter_map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect();
+    // Every slot is filled before the scope joins (a panic in `f` would
+    // have propagated at the join); anything else is an internal bug.
+    assert_eq!(results.len(), n, "parallel_map lost a result slot");
+    results
 }
 
 /// One experiment point, fully specified: configuration (mode, seed,

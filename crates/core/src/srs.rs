@@ -59,9 +59,21 @@ pub struct Srs {
     /// Failed (destination, wavelength) pairs: the demux/receiver is dead,
     /// nobody can use the wavelength toward that board any more.
     failed: Vec<(u16, u16)>,
+    /// Failed (source, destination) transmitter groups: `s`'s lasers
+    /// toward `d` cannot light. Ownership is retained so repair restores
+    /// service.
+    failed_tx: Vec<(u16, u16)>,
+    /// Per-channel stuck-LC flags: DPM retunes are silently dropped.
+    stuck_lc: Vec<bool>,
+    /// Per-channel pending CDR relock penalty, applied once the channel is
+    /// between packets.
+    pending_relock: Vec<Option<Cycle>>,
+    /// The static RWA (used to restore ownership on receiver repair).
+    rwa: StaticRwa,
     /// Lifetime counters.
     grants_applied: u64,
     retunes_applied: u64,
+    relocks_applied: u64,
 }
 
 impl Srs {
@@ -110,13 +122,18 @@ impl Srs {
             power_model,
             lock_penalty,
             failed: Vec::new(),
+            failed_tx: Vec::new(),
+            stuck_lc: vec![false; (boards as usize).pow(2) * w_count as usize],
+            pending_relock: vec![None; (boards as usize).pow(2) * w_count as usize],
+            rwa,
             grants_applied: 0,
             retunes_applied: 0,
+            relocks_applied: 0,
         };
         // Static RWA: one lit laser per (destination, remote wavelength).
         for d in 0..boards {
             for w in 1..w_count {
-                let s = rwa.static_owner(BoardId(d), Wavelength(w));
+                let s = srs.rwa.static_owner(BoardId(d), Wavelength(w));
                 srs.owner[d as usize][w as usize] = Some(s.0);
                 srs.channel_mut(s.0, d, w).power_on();
             }
@@ -206,7 +223,7 @@ impl Srs {
         }
         // Any in-flight ownership transfer on the dead wavelength becomes a
         // donor-only shutdown: the donor still darkens, but the recipient's
-        // relight is suppressed (tick skips `from == to` and failed pairs).
+        // relight is suppressed (tick skips failed pairs).
         for pg in &mut self.pending_grants {
             if pg.grant.destination.0 == d && pg.grant.wavelength.0 == w {
                 pg.grant.to = pg.grant.from;
@@ -214,10 +231,135 @@ impl Srs {
         }
     }
 
+    /// Fault repair: the receiver/demux for wavelength `w` at board `d`
+    /// recovers. Ownership reverts to the static RWA owner and its laser
+    /// re-lights through a fresh receiver lock-in window, after which DBR
+    /// may grant the wavelength away again.
+    pub fn repair_receiver(&mut self, now: Cycle, d: u16, w: u16) {
+        let Some(pos) = self.failed.iter().position(|&p| p == (d, w)) else {
+            return; // never failed (or already repaired): nothing to do
+        };
+        self.failed.swap_remove(pos);
+        let s = self.rwa.static_owner(BoardId(d), Wavelength(w)).0;
+        self.owner[d as usize][w as usize] = Some(s);
+        // A shutdown still draining from the failure becomes a re-light:
+        // once the old laser darkens, the static owner comes back up (with
+        // its lock-in penalty) instead of staying dark.
+        let mut handover = false;
+        for pg in &mut self.pending_grants {
+            if pg.grant.destination.0 == d && pg.grant.wavelength.0 == w {
+                pg.grant.to = BoardId(s);
+                handover = true;
+            }
+        }
+        if !handover && !self.channel(s, d, w).is_on() && !self.is_tx_failed(s, d) {
+            let lock = self.lock_penalty;
+            self.channel_mut(s, d, w).power_on_dark(now, lock);
+        }
+    }
+
+    /// True when board `s`'s transmitters toward `d` have failed.
+    pub fn is_tx_failed(&self, s: u16, d: u16) -> bool {
+        self.failed_tx.contains(&(s, d))
+    }
+
+    /// Fault injection: board `s`'s transmitters toward `d` die. Owned
+    /// lasers darken once idle; in-flight packets still land. Ownership is
+    /// retained so [`Srs::repair_transmitter`] restores service.
+    pub fn fail_transmitter(&mut self, now: Cycle, s: u16, d: u16) {
+        if self.is_tx_failed(s, d) {
+            return;
+        }
+        self.failed_tx.push((s, d));
+        for w in self.owned_wavelengths(s, d) {
+            let i = self.idx(s, d, w);
+            self.pending_retune[i] = None;
+            self.pending_relock[i] = None;
+            let c = &mut self.channels[i];
+            c.settle(now);
+            if c.is_on() && c.can_send(now) {
+                c.power_off(now);
+            } else if c.is_on() {
+                // Mid-packet: darken through the grant machinery once the
+                // wavelength clears (relight suppressed by `is_tx_failed`).
+                self.pending_grants.push(PendingGrant {
+                    grant: WavelengthGrant {
+                        destination: BoardId(d),
+                        wavelength: Wavelength(w),
+                        from: BoardId(s),
+                        to: BoardId(s),
+                    },
+                    donor_dark: false,
+                });
+            }
+        }
+    }
+
+    /// Fault repair: board `s`'s transmitters toward `d` recover; every
+    /// owned wavelength whose receiver is alive re-lights through a lock-in
+    /// window.
+    pub fn repair_transmitter(&mut self, now: Cycle, s: u16, d: u16) {
+        let Some(pos) = self.failed_tx.iter().position(|&p| p == (s, d)) else {
+            return;
+        };
+        self.failed_tx.swap_remove(pos);
+        // Cancel shutdowns still pending from the failure: those channels
+        // are lit and may simply keep running.
+        self.pending_grants.retain(|pg| {
+            !(pg.grant.destination.0 == d && pg.grant.from == pg.grant.to && pg.grant.from.0 == s)
+        });
+        let lock = self.lock_penalty;
+        for w in self.owned_wavelengths(s, d) {
+            if !self.is_failed(d, w) && !self.channel(s, d, w).is_on() {
+                self.channel_mut(s, d, w).power_on_dark(now, lock);
+            }
+        }
+    }
+
+    /// Fault injection: the LC of channel `(s → d, w)` wedges at its
+    /// current power level. Pending and future DPM retunes are dropped
+    /// until [`Srs::unstick_lc`].
+    pub fn stick_lc(&mut self, s: u16, d: u16, w: u16) {
+        let i = self.idx(s, d, w);
+        self.stuck_lc[i] = true;
+        self.pending_retune[i] = None;
+    }
+
+    /// Fault repair: the stuck LC recovers; the next DPM decision can
+    /// retune the channel again.
+    pub fn unstick_lc(&mut self, s: u16, d: u16, w: u16) {
+        let i = self.idx(s, d, w);
+        self.stuck_lc[i] = false;
+    }
+
+    /// True when the LC of channel `(s → d, w)` is stuck.
+    pub fn is_lc_stuck(&self, s: u16, d: u16, w: u16) -> bool {
+        self.stuck_lc[self.idx(s, d, w)]
+    }
+
+    /// Fault injection: the receiver CDR of channel `(s → d, w)` loses
+    /// lock. The channel goes dark for `penalty` cycles as soon as it is
+    /// between packets (in-flight photons still land). Inert on a dark
+    /// channel.
+    pub fn schedule_relock(&mut self, s: u16, d: u16, w: u16, penalty: Cycle) {
+        let i = self.idx(s, d, w);
+        if self.channels[i].is_on() {
+            self.pending_relock[i] = Some(penalty);
+        }
+    }
+
+    /// CDR relock events actually applied (storm observability).
+    pub fn relocks_applied(&self) -> u64 {
+        self.relocks_applied
+    }
+
     /// Tries to transmit `packet` from board `s` to board `d` on any free
     /// owned channel. On success returns the wavelength used; the arrival
     /// is scheduled internally.
     pub fn try_transmit(&mut self, now: Cycle, s: u16, d: u16, packet: ReadyPacket) -> Option<u16> {
+        if self.is_tx_failed(s, d) {
+            return None;
+        }
         let w = (0..self.wavelengths).find(|&w| {
             self.owner[d as usize][w as usize] == Some(s) && {
                 let c = self.channel(s, d, w);
@@ -250,7 +392,7 @@ impl Srs {
     /// allocation-free form the cycle loop drains arrivals with.
     pub fn pop_arrival_due(&mut self, now: Cycle) -> Option<Arrival> {
         match self.arrivals.peek_time() {
-            Some(t) if t <= now => Some(self.arrivals.pop().expect("peeked").1),
+            Some(t) if t <= now => self.arrivals.pop().map(|(_, a)| a),
             _ => None,
         }
     }
@@ -269,6 +411,10 @@ impl Srs {
     /// wavelength is free.
     pub fn schedule_retune(&mut self, s: u16, d: u16, w: u16, level: RateLevel, penalty: Cycle) {
         let i = self.idx(s, d, w);
+        if self.stuck_lc[i] {
+            // A wedged LC silently drops the retune command.
+            return;
+        }
         if self.channels[i].level() != level {
             self.pending_retune[i] = Some((level, penalty));
         }
@@ -278,8 +424,11 @@ impl Srs {
     /// latency — the caller passes decisions at their apply time).
     pub fn schedule_grants(&mut self, grants: &[WavelengthGrant]) {
         for &grant in grants {
-            if self.is_failed(grant.destination.0, grant.wavelength.0) {
-                // A decision raced with a failure; drop it.
+            if self.is_failed(grant.destination.0, grant.wavelength.0)
+                || self.is_tx_failed(grant.to.0, grant.destination.0)
+            {
+                // A decision raced with a failure (dead receiver, or a
+                // recipient that cannot light a laser); drop it.
                 continue;
             }
             // Ownership flips immediately (the Board Response told everyone);
@@ -306,6 +455,22 @@ impl Srs {
         for c in &mut self.channels {
             if c.is_on() {
                 c.settle(now);
+            }
+        }
+        // Apply pending CDR relocks on idle channels: the laser stays up
+        // but the link is unusable until the receiver re-locks — modeled
+        // as a dark window of the relock penalty.
+        for i in 0..self.pending_relock.len() {
+            if let Some(penalty) = self.pending_relock[i] {
+                let c = &mut self.channels[i];
+                if c.is_on() && c.can_send(now) {
+                    c.power_off(now);
+                    c.power_on_dark(now, penalty);
+                    self.pending_relock[i] = None;
+                    self.relocks_applied += 1;
+                } else if !c.is_on() {
+                    self.pending_relock[i] = None;
+                }
             }
         }
         // Apply pending retunes on idle channels.
@@ -339,8 +504,10 @@ impl Srs {
                 }
             }
             if self.pending_grants[j].donor_dark {
-                // A failed wavelength never relights.
-                if !self.is_failed(d, w) && pg.grant.from != pg.grant.to {
+                // A failed wavelength (dead receiver or dead transmitter
+                // group) never relights; a repaired one relights its
+                // retargeted recipient even when that is the donor itself.
+                if !self.is_failed(d, w) && !self.is_tx_failed(pg.grant.to.0, d) {
                     let ri = self.idx(pg.grant.to.0, d, w);
                     let recipient = &mut self.channels[ri];
                     if !recipient.is_on() {
@@ -700,5 +867,117 @@ mod fault_tests {
         s.fail_receiver(1, 0, 1);
         assert!(s.is_failed(0, 1));
         assert_eq!(s.lasers_on(), 11);
+    }
+
+    #[test]
+    fn repair_restores_static_ownership_and_capacity() {
+        let mut s = srs();
+        s.fail_receiver(0, 0, 1);
+        assert_eq!(s.lasers_on(), 11);
+        assert_eq!(s.owner(0, 1), None);
+        s.repair_receiver(100, 0, 1);
+        assert!(!s.is_failed(0, 1));
+        assert_eq!(s.owner(0, 1), Some(1), "static owner readmitted");
+        assert!(s.channel(1, 0, 1).is_on());
+        assert_eq!(s.lasers_on(), 12);
+        // Fresh receiver lock-in: dark for 65 cycles, then usable.
+        assert!(s.try_transmit(120, 1, 0, pkt(1)).is_none());
+        s.tick(170);
+        assert!(s.try_transmit(170, 1, 0, pkt(1)).is_some());
+    }
+
+    #[test]
+    fn repair_before_the_failure_drain_completes_relights() {
+        let mut s = srs();
+        assert!(s.try_transmit(0, 1, 0, pkt(7)).is_some());
+        s.fail_receiver(5, 0, 1); // mid-packet: shutdown is pending
+        s.repair_receiver(10, 0, 1); // repaired before the laser idles
+        assert_eq!(s.owner(0, 1), Some(1));
+        assert_eq!(s.arrivals_due(52).len(), 1, "in-flight photons land");
+        // Once the wavelength clears, the laser cycles through a lock-in
+        // window instead of dying.
+        s.tick(48);
+        assert!(s.channel(1, 0, 1).is_on());
+        s.tick(120);
+        assert!(s.try_transmit(120, 1, 0, pkt(8)).is_some());
+    }
+
+    #[test]
+    fn repair_without_failure_is_a_no_op() {
+        let mut s = srs();
+        s.repair_receiver(10, 0, 1);
+        assert_eq!(s.owner(0, 1), Some(1));
+        assert_eq!(s.lasers_on(), 12);
+    }
+
+    #[test]
+    fn transmitter_outage_darkens_and_repair_restores() {
+        let mut s = srs();
+        s.fail_transmitter(0, 1, 0);
+        assert!(s.is_tx_failed(1, 0));
+        assert!(!s.channel(1, 0, 1).is_on());
+        assert_eq!(s.lasers_on(), 11);
+        assert!(s.try_transmit(1, 1, 0, pkt(1)).is_none());
+        // Ownership is retained through the outage.
+        assert_eq!(s.owner(0, 1), Some(1));
+        s.repair_transmitter(50, 1, 0);
+        assert!(!s.is_tx_failed(1, 0));
+        assert!(s.channel(1, 0, 1).is_on());
+        s.tick(120);
+        assert!(s.try_transmit(120, 1, 0, pkt(2)).is_some());
+    }
+
+    #[test]
+    fn grants_to_failed_transmitters_are_dropped() {
+        let mut s = srs();
+        s.fail_transmitter(0, 1, 0);
+        s.schedule_grants(&[WavelengthGrant {
+            destination: BoardId(0),
+            wavelength: Wavelength(2),
+            from: BoardId(2),
+            to: BoardId(1),
+        }]);
+        assert_eq!(s.owner(0, 2), Some(2), "grant to a dead TX is dropped");
+        assert_eq!(s.reconfig_counts().0, 0);
+    }
+
+    #[test]
+    fn stuck_lc_drops_retunes_until_repair() {
+        let mut s = srs();
+        s.stick_lc(1, 0, 1);
+        assert!(s.is_lc_stuck(1, 0, 1));
+        s.schedule_retune(1, 0, 1, RateLevel(0), 65);
+        s.tick(5);
+        assert_eq!(s.channel(1, 0, 1).level(), RateLevel(2));
+        assert_eq!(s.reconfig_counts().1, 0);
+        s.unstick_lc(1, 0, 1);
+        s.schedule_retune(1, 0, 1, RateLevel(0), 65);
+        s.tick(6);
+        assert_eq!(s.channel(1, 0, 1).level(), RateLevel(0));
+        assert_eq!(s.reconfig_counts().1, 1);
+    }
+
+    #[test]
+    fn cdr_relock_waits_for_the_packet_then_darkens() {
+        let mut s = srs();
+        assert!(s.try_transmit(0, 1, 0, pkt(1)).is_some());
+        s.schedule_relock(1, 0, 1, 200);
+        s.tick(10);
+        assert_eq!(s.relocks_applied(), 0, "mid-packet: relock waits");
+        assert_eq!(s.arrivals_due(52).len(), 1, "photons land");
+        s.tick(48);
+        assert_eq!(s.relocks_applied(), 1);
+        assert!(s.channel(1, 0, 1).is_on(), "laser stays up while relocking");
+        assert!(s.try_transmit(100, 1, 0, pkt(2)).is_none(), "link dark");
+        s.tick(250);
+        assert!(s.try_transmit(250, 1, 0, pkt(2)).is_some());
+    }
+
+    #[test]
+    fn cdr_relock_on_a_dark_channel_is_inert() {
+        let mut s = srs();
+        s.schedule_relock(2, 0, 1, 200); // unowned, dark channel
+        s.tick(5);
+        assert_eq!(s.relocks_applied(), 0);
     }
 }

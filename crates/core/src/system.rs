@@ -15,6 +15,7 @@
 
 use crate::board::Board;
 use crate::config::{ControlPlane, NetworkMode, SystemConfig};
+use crate::faults::FaultKind;
 use crate::metrics::RunMetrics;
 use crate::srs::Srs;
 use desim::phase::{Phase, PhasePlan};
@@ -23,7 +24,8 @@ use photonics::wavelength::{BoardId, Wavelength};
 use reconfig::alloc::{FlowDemand, IncomingLink};
 use reconfig::lockstep::WindowKind;
 use reconfig::msg::{LinkReading, WavelengthGrant};
-use reconfig::protocol::DbrRound;
+use reconfig::protocol::{DbrRound, TokenFault};
+use reconfig::stages::Stage;
 use router::flit::{NodeId, PacketId};
 use router::packet::Packet;
 use traffic::generator::NodeGenerator;
@@ -49,6 +51,17 @@ pub struct System {
     /// Reusable per-cycle delivery buffer — cleared per board per cycle,
     /// never reallocated in steady state.
     delivered_scratch: Vec<crate::board::Delivered>,
+    /// Next unapplied event in `cfg.faults` (the plan is time-sorted).
+    fault_cursor: usize,
+    /// Token faults waiting for the next DBR round (message-level plane).
+    armed_token: Vec<TokenFault>,
+    /// Recovery latency the next DBR round must absorb (analytic plane's
+    /// mirror of armed token faults).
+    armed_analytic_delay: Cycle,
+    /// LS token resends performed (loss relaunches + corruption resends).
+    ls_retries: u64,
+    /// DBR rounds aborted fail-safe after exhausting the retry budget.
+    ls_aborted: u64,
 }
 
 impl System {
@@ -92,6 +105,11 @@ impl System {
             pending_dbr: Vec::new(),
             active_round: None,
             delivered_scratch: Vec::new(),
+            fault_cursor: 0,
+            armed_token: Vec::new(),
+            armed_analytic_delay: 0,
+            ls_retries: 0,
+            ls_aborted: 0,
         }
     }
 
@@ -143,6 +161,7 @@ impl System {
 
     fn step_inner(&mut self, inject: bool) {
         let now = self.now;
+        self.apply_due_faults(now);
         self.window_boundary(now);
         self.apply_due_dbr(now);
         self.tick_active_round(now);
@@ -229,9 +248,12 @@ impl System {
         match self.cfg.control_plane {
             ControlPlane::AnalyticLatency => {
                 let all_grants = self.compute_grants();
+                // Token faults armed before this round delay its apply time
+                // (the mirror of the message-level round recovering them).
+                let delay = std::mem::take(&mut self.armed_analytic_delay);
                 if !all_grants.is_empty() {
                     self.pending_dbr
-                        .push((now + self.cfg.timing.dbr_latency(), all_grants));
+                        .push((now + self.cfg.timing.dbr_latency() + delay, all_grants));
                 }
             }
             ControlPlane::MessageLevel => {
@@ -242,13 +264,13 @@ impl System {
                     self.active_round = None;
                 }
                 let (outgoing, demands) = self.round_inputs();
-                self.active_round = Some(DbrRound::new(
-                    self.cfg.timing,
-                    self.cfg.alloc,
-                    now,
-                    outgoing,
-                    demands,
-                ));
+                let mut round =
+                    DbrRound::new(self.cfg.timing, self.cfg.alloc, now, outgoing, demands)
+                        .with_retry(self.cfg.retry);
+                for f in self.armed_token.drain(..) {
+                    round.inject_fault(f);
+                }
+                self.active_round = Some(round);
             }
         }
     }
@@ -330,7 +352,17 @@ impl System {
             return;
         };
         if let Some(outcome) = round.tick(now) {
+            self.ls_retries += outcome.retries as u64;
+            if outcome.error.is_some() {
+                // Fail-safe abort: the round decided nothing; the system
+                // keeps its current allocation.
+                self.ls_aborted += 1;
+            }
             self.srs.schedule_grants(&outcome.grants);
+            // Faults that armed too late to strike this round carry over
+            // to the next one.
+            let leftovers = round.take_armed();
+            self.armed_token.extend(leftovers);
             self.active_round = None;
         }
     }
@@ -428,9 +460,9 @@ impl System {
                 }
                 while let Some(pkt) = self.boards[s as usize].tx_queue(d).peek().copied() {
                     if self.srs.try_transmit(now, s, d, pkt).is_some() {
-                        let departed = self.boards[s as usize]
-                            .tx_depart(d)
-                            .expect("peeked packet departed");
+                        let Some(departed) = self.boards[s as usize].tx_depart(d) else {
+                            break; // unreachable: the queue head was just peeked
+                        };
                         debug_assert_eq!(departed.id, pkt.id);
                         if pkt.labelled {
                             self.metrics
@@ -454,6 +486,89 @@ impl System {
         }
     }
 
+    /// Applies every fault event scheduled at or before `now` (the plan is
+    /// time-sorted, so this is a cursor walk — O(1) when nothing is due).
+    fn apply_due_faults(&mut self, now: Cycle) {
+        while self.fault_cursor < self.cfg.faults.len() {
+            let e = self.cfg.faults.events()[self.fault_cursor];
+            if e.at > now {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.apply_fault(now, e.kind);
+        }
+    }
+
+    fn apply_fault(&mut self, now: Cycle, kind: FaultKind) {
+        match kind {
+            FaultKind::ReceiverDown { board, wavelength } => {
+                self.srs.fail_receiver(now, board, wavelength)
+            }
+            FaultKind::ReceiverRepair { board, wavelength } => {
+                self.srs.repair_receiver(now, board, wavelength)
+            }
+            FaultKind::TransmitterDown { board, dest } => {
+                self.srs.fail_transmitter(now, board, dest)
+            }
+            FaultKind::TransmitterRepair { board, dest } => {
+                self.srs.repair_transmitter(now, board, dest)
+            }
+            FaultKind::LcStuck {
+                board,
+                dest,
+                wavelength,
+            } => self.srs.stick_lc(board, dest, wavelength),
+            FaultKind::LcRepair {
+                board,
+                dest,
+                wavelength,
+            } => self.srs.unstick_lc(board, dest, wavelength),
+            FaultKind::CdrRelock {
+                board,
+                dest,
+                wavelength,
+                penalty,
+            } => self.srs.schedule_relock(board, dest, wavelength, penalty),
+            FaultKind::TokenLoss { victim } => self.token_fault(now, victim, false),
+            FaultKind::TokenCorrupt { victim } => self.token_fault(now, victim, true),
+        }
+    }
+
+    /// Routes an LS token fault into whichever control plane is running.
+    /// Both planes recover with the same deterministic extra latency for a
+    /// single token fault per round (see [`reconfig::protocol::RetryPolicy`]);
+    /// only the message-level plane models the fail-safe abort of a
+    /// persistently jammed ring.
+    fn token_fault(&mut self, now: Cycle, victim: u16, corrupt: bool) {
+        if !self.cfg.mode.bandwidth_reconfig() {
+            return; // no DBR rounds: nothing on the ring to hit
+        }
+        let fault = TokenFault {
+            victim: BoardId(victim),
+            corrupt,
+        };
+        match self.cfg.control_plane {
+            ControlPlane::MessageLevel => {
+                if let Some(round) = &mut self.active_round {
+                    round.inject_fault(fault);
+                } else {
+                    self.armed_token.push(fault);
+                }
+            }
+            ControlPlane::AnalyticLatency => {
+                self.ls_retries += 1;
+                let delay = self.cfg.retry.recovery_delay(&self.cfg.timing, corrupt);
+                let link_resp = self.cfg.timing.stage_cycles(Stage::LinkResponse);
+                // A fault lands in the round whose Board Response has not
+                // yet completed; later faults arm for the next round.
+                match self.pending_dbr.iter_mut().min_by_key(|(due, _)| *due) {
+                    Some(batch) if now + link_resp <= batch.0 => batch.0 += delay,
+                    _ => self.armed_analytic_delay += delay,
+                }
+            }
+        }
+    }
+
     /// Fault injection: kills the receiver for wavelength `w` at board `d`
     /// (see [`Srs::fail_receiver`]). With DBR active the orphaned flow
     /// re-acquires bandwidth through its queue demand; without it the flow
@@ -461,6 +576,26 @@ impl System {
     pub fn fail_receiver(&mut self, d: u16, w: u16) {
         let now = self.now;
         self.srs.fail_receiver(now, d, w);
+    }
+
+    /// Fault repair: restores the receiver for wavelength `w` at board `d`
+    /// (see [`Srs::repair_receiver`]); the static owner re-lights and DBR
+    /// re-admits the wavelength.
+    pub fn repair_receiver(&mut self, d: u16, w: u16) {
+        let now = self.now;
+        self.srs.repair_receiver(now, d, w);
+    }
+
+    /// Applies one fault immediately, outside any scheduled plan.
+    pub fn inject_fault(&mut self, kind: FaultKind) {
+        let now = self.now;
+        self.apply_fault(now, kind);
+    }
+
+    /// Control-plane health: `(token resends performed, rounds aborted
+    /// fail-safe)`.
+    pub fn control_stats(&self) -> (u64, u64) {
+        (self.ls_retries, self.ls_aborted)
     }
 
     /// True when no packet is anywhere in flight — boards idle *and* the
@@ -654,6 +789,65 @@ mod tests {
         assert_eq!(analytic, message);
         // And reconfiguration genuinely happened in both.
         assert!(analytic.4 .0 > 0, "grants expected under complement");
+    }
+
+    /// The metrics compared between control planes: injected, delivered,
+    /// throughput, latency, (grants, retunes), (ls_retries, ls_aborts),
+    /// final cycle.
+    type PlaneFingerprint = (u64, u64, f64, f64, (u64, u64), (u64, u64), Cycle);
+
+    /// Both control planes must recover from a single LS token fault with
+    /// the same deterministic extra latency — identical metrics throughout.
+    fn run_plane_with_fault(
+        plane: crate::config::ControlPlane,
+        kind: crate::faults::FaultKind,
+    ) -> PlaneFingerprint {
+        let mut cfg = SystemConfig::small(NetworkMode::PB);
+        cfg.control_plane = plane;
+        // The first Bandwidth window boundary is t=4000; the Board Request
+        // tokens are on the ring from 4005.
+        cfg.faults = crate::faults::FaultPlan::new().at(4006, kind);
+        let mut sys = System::new(cfg, TrafficPattern::Complement, 0.6, plan());
+        sys.run();
+        (
+            sys.metrics().injected_total,
+            sys.metrics().delivered_total,
+            sys.metrics().throughput_ppc(),
+            sys.metrics().mean_latency(),
+            sys.srs().reconfig_counts(),
+            sys.control_stats(),
+            sys.now(),
+        )
+    }
+
+    #[test]
+    fn token_loss_parity_between_control_planes() {
+        let kind = crate::faults::FaultKind::TokenLoss { victim: 1 };
+        let analytic = run_plane_with_fault(crate::config::ControlPlane::AnalyticLatency, kind);
+        let message = run_plane_with_fault(crate::config::ControlPlane::MessageLevel, kind);
+        assert_eq!(analytic, message);
+        assert_eq!(analytic.5, (1, 0), "one resend, no abort");
+        assert!(analytic.4 .0 > 0, "the delayed round still granted");
+    }
+
+    #[test]
+    fn token_corruption_parity_between_control_planes() {
+        let kind = crate::faults::FaultKind::TokenCorrupt { victim: 2 };
+        let analytic = run_plane_with_fault(crate::config::ControlPlane::AnalyticLatency, kind);
+        let message = run_plane_with_fault(crate::config::ControlPlane::MessageLevel, kind);
+        assert_eq!(analytic, message);
+        assert_eq!(analytic.5, (1, 0));
+    }
+
+    #[test]
+    fn token_faults_are_inert_without_dbr() {
+        let mut cfg = SystemConfig::small(NetworkMode::NpNb);
+        cfg.faults = crate::faults::FaultPlan::new()
+            .at(4006, crate::faults::FaultKind::TokenLoss { victim: 1 });
+        let mut sys = System::new(cfg, TrafficPattern::Uniform, 0.3, plan());
+        sys.run();
+        assert_eq!(sys.control_stats(), (0, 0));
+        assert_eq!(sys.metrics().tracker.outstanding(), 0);
     }
 
     #[test]

@@ -143,8 +143,7 @@ impl AllocPolicy {
         // Most congested first; board index breaks ties for determinism.
         over.sort_by(|a, b| {
             b.buffer_util
-                .partial_cmp(&a.buffer_util)
-                .expect("no NaN buffer_util")
+                .total_cmp(&a.buffer_util)
                 .then(a.source.cmp(&b.source))
         });
         // A spare channel is one whose *owning flow* is under-utilized: use
@@ -162,8 +161,7 @@ impl AllocPolicy {
             .collect();
         under.sort_by(|a, b| {
             flow_util(a)
-                .partial_cmp(&flow_util(b))
-                .expect("no NaN buffer_util")
+                .total_cmp(&flow_util(b))
                 .then(a.wavelength.cmp(&b.wavelength))
         });
         let mut grants = Vec::new();

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # reconfig — the Lock-Step (LS) reconfiguration protocol of E-RAPID
 //!
 //! §3 of the paper. LS is "a history-based distributed reconfiguration
@@ -58,4 +59,5 @@ pub mod stages;
 pub use alloc::{AllocPolicy, Classification, FlowDemand, Reassignment};
 pub use lc::LinkController;
 pub use lockstep::{LockStepSchedule, WindowKind};
+pub use protocol::{ProtocolError, RetryPolicy, TokenFault};
 pub use rc::ReconfigController;

@@ -9,10 +9,22 @@
 //! Response back through the LCs — one cycle at a time, and reports both
 //! the decisions and the cycle the round completed.
 //!
+//! The ring stages are additionally guarded against control-plane faults:
+//! each origin tracks whether its token has returned home, and a per-stage
+//! watchdog (the LS heartbeat) relaunches missing tokens after the
+//! expected round trip plus a grace window, doubling the grace on every
+//! attempt (bounded retry with exponential backoff, [`RetryPolicy`]). A
+//! token whose checksum fails on return is discarded and resent
+//! immediately. A stage that exhausts its retry budget aborts the round
+//! fail-safe: the outcome carries a [`ProtocolError`] and no grants, so
+//! the system keeps its current allocation rather than acting on partial
+//! state.
+//!
 //! Invariants checked by the tests (and usable by callers):
 //! * decisions equal a direct [`crate::alloc::AllocPolicy`] evaluation of
 //!   the same window statistics,
-//! * completion time equals `ProtocolTiming::dbr_latency()`,
+//! * fault-free completion time equals `ProtocolTiming::dbr_latency()`
+//!   exactly (the watchdog never fires on a lossless ring),
 //! * the ring never holds more than one packet per board per hop slot
 //!   (the lock-step property).
 
@@ -24,16 +36,95 @@ use crate::stages::{ProtocolTiming, Stage};
 use desim::Cycle;
 use photonics::wavelength::BoardId;
 
+/// A permanent control-protocol failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A ring stage could not complete within the retry budget: some
+    /// origin's token kept vanishing.
+    RingStalled {
+        /// The stage that stalled.
+        stage: Stage,
+        /// Relaunch attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::RingStalled { stage, attempts } => write!(
+                f,
+                "ring stalled in {stage:?} after {attempts} relaunch attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Detection/recovery knobs for the ring-stage watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Slack beyond the expected ring round trip before the watchdog
+    /// declares a token lost (initial detection window; doubled per
+    /// attempt).
+    pub grace: Cycle,
+    /// Relaunch attempts per ring stage before the round aborts.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            grace: 16,
+            max_retries: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic extra latency one token fault costs a round when
+    /// recovery succeeds on the first attempt: a lost token is detected
+    /// after `round_trip + grace` and its relaunch takes another round
+    /// trip; a corrupted token is detected for free on return and only
+    /// pays the resend round trip. This is the analytic mirror of the
+    /// message-level recovery (see `erapid-core`'s control planes).
+    pub fn recovery_delay(&self, timing: &ProtocolTiming, corrupt: bool) -> Cycle {
+        let round_trip = timing.boards as Cycle * timing.ring_hop;
+        if corrupt {
+            round_trip
+        } else {
+            round_trip + self.grace
+        }
+    }
+}
+
+/// A control-plane fault aimed at one board's LS token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenFault {
+    /// The board whose token is hit.
+    pub victim: BoardId,
+    /// `true`: the token is corrupted in flight (detected by checksum on
+    /// return). `false`: the token vanishes outright (detected by the
+    /// watchdog timeout).
+    pub corrupt: bool,
+}
+
 /// The observable result of a completed DBR round.
 #[derive(Debug, Clone)]
 pub struct RoundOutcome {
     /// Every ownership transfer decided this round (all destinations).
+    /// Empty when the round aborted (`error` is set).
     pub grants: Vec<WavelengthGrant>,
     /// Per-board laser commands derived from the grants.
     pub commands: Vec<Vec<LaserCommand>>,
     /// Cycle (relative to the round start) at which the Link Response
     /// stage finished and the commands took effect.
     pub completed_at: Cycle,
+    /// Token resends performed (loss relaunches + corruption resends).
+    pub retries: u32,
+    /// Set when the round aborted fail-safe instead of completing.
+    pub error: Option<ProtocolError>,
 }
 
 /// Internal phase of the round driver.
@@ -45,20 +136,14 @@ enum RoundPhase {
         until: Cycle,
     },
     /// Board Request packets circulating the ring.
-    BoardRequest {
-        /// Hops completed so far.
-        hops: u16,
-    },
+    BoardRequest,
     /// Reconfigure computation at every RC.
     Reconfigure {
         /// Completion cycle of the stage.
         until: Cycle,
     },
     /// Board Response packets circulating the ring.
-    BoardResponse {
-        /// Hops completed so far.
-        hops: u16,
-    },
+    BoardResponse,
     /// Link Response circulating the LC chains (fixed duration).
     LinkResponse {
         /// Completion cycle of the stage.
@@ -80,7 +165,25 @@ pub struct DbrRound {
     phase: RoundPhase,
     start: Cycle,
     grants: Vec<WavelengthGrant>,
+    /// Per-destination grant payloads decided at Reconfigure — kept so a
+    /// lost Board Response token can be resent with its original payload.
+    response_grants: Vec<Vec<WavelengthGrant>>,
     outcome: Option<RoundOutcome>,
+    retry: RetryPolicy,
+    /// Per-origin "my token is home" flags for the current ring stage.
+    home: Vec<bool>,
+    /// Per-origin corrupted-token flags (checksum fails on return).
+    corrupted: Vec<bool>,
+    /// Watchdog deadline of the current ring stage.
+    deadline: Cycle,
+    /// Watchdog relaunch attempts in the current ring stage.
+    attempts: u32,
+    /// Token resends across the whole round.
+    retries: u32,
+    /// Faults waiting for the next ring-stage launch (the victim had no
+    /// token in flight when the fault struck).
+    armed: Vec<TokenFault>,
+    error: Option<ProtocolError>,
 }
 
 impl DbrRound {
@@ -120,17 +223,33 @@ impl DbrRound {
             },
             start,
             grants: Vec::new(),
+            response_grants: vec![Vec::new(); boards as usize],
             outcome: None,
+            retry: RetryPolicy::default(),
+            home: vec![false; boards as usize],
+            corrupted: vec![false; boards as usize],
+            deadline: Cycle::MAX,
+            attempts: 0,
+            retries: 0,
+            armed: Vec::new(),
+            error: None,
         }
+    }
+
+    /// Overrides the watchdog policy (builder style; call before the first
+    /// tick).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The phase label, for tracing.
     pub fn stage(&self) -> &'static str {
         match self.phase {
             RoundPhase::LinkRequest { .. } => "link_request",
-            RoundPhase::BoardRequest { .. } => "board_request",
+            RoundPhase::BoardRequest => "board_request",
             RoundPhase::Reconfigure { .. } => "reconfigure",
-            RoundPhase::BoardResponse { .. } => "board_response",
+            RoundPhase::BoardResponse => "board_response",
             RoundPhase::LinkResponse { .. } => "link_response",
             RoundPhase::Done => "done",
         }
@@ -141,59 +260,187 @@ impl DbrRound {
         matches!(self.phase, RoundPhase::Done)
     }
 
+    /// Token resends performed so far.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Drains the faults that armed too late to strike in this round (so a
+    /// caller can carry them into the next one).
+    pub fn take_armed(&mut self) -> Vec<TokenFault> {
+        std::mem::take(&mut self.armed)
+    }
+
+    /// Injects a control-plane fault into the running round. If the
+    /// victim's token is on the ring it is dropped (loss) or marked
+    /// corrupted (checksum failure on return); otherwise the fault arms
+    /// and strikes at the next ring-stage launch. Faults injected after
+    /// the last ring stage are inert.
+    pub fn inject_fault(&mut self, fault: TokenFault) {
+        if self.is_done() {
+            return;
+        }
+        let v = fault.victim;
+        let in_ring_stage = matches!(
+            self.phase,
+            RoundPhase::BoardRequest | RoundPhase::BoardResponse
+        );
+        if in_ring_stage && !self.home[v.index()] && self.ring.has_packet_from(v) {
+            if fault.corrupt {
+                self.corrupted[v.index()] = true;
+            } else {
+                self.ring.drop_packet_from(v);
+            }
+            return;
+        }
+        if !self.armed.iter().any(|f| f.victim == v) {
+            self.armed.push(fault);
+        }
+    }
+
+    /// A fresh copy of `origin`'s token for `stage` (used at launch and
+    /// for every resend — re-collection is safe because RC table reads
+    /// are idempotent).
+    fn fresh_token(&self, origin: BoardId, stage: Stage) -> ControlPacket {
+        if stage == Stage::BoardRequest {
+            ControlPacket::BoardRequest {
+                origin,
+                reports: vec![],
+            }
+        } else {
+            ControlPacket::BoardResponse {
+                origin,
+                grants: self.response_grants[origin.index()].clone(),
+            }
+        }
+    }
+
+    /// Lock-step launch of a ring stage: every board sends its token
+    /// simultaneously (Fig. 4(b)), armed faults strike at the launch, and
+    /// the stage watchdog is primed.
+    fn launch_ring_stage(&mut self, now: Cycle, stage: Stage) {
+        self.home.iter_mut().for_each(|h| *h = false);
+        self.corrupted.iter_mut().for_each(|c| *c = false);
+        self.attempts = 0;
+        for b in 0..self.boards {
+            let mut lost = false;
+            if let Some(pos) = self.armed.iter().position(|f| f.victim == BoardId(b)) {
+                let f = self.armed.remove(pos);
+                if f.corrupt {
+                    self.corrupted[b as usize] = true;
+                } else {
+                    lost = true;
+                }
+            }
+            if !lost {
+                let token = self.fresh_token(BoardId(b), stage);
+                self.ring.send(now, BoardId(b), token);
+            }
+        }
+        self.deadline = now + self.ring.round_trip() + self.retry.grace;
+    }
+
+    /// One cycle of a ring stage. Returns `true` when every token is home
+    /// (stage complete). May set `self.error` when the retry budget runs
+    /// out.
+    fn tick_ring_stage(&mut self, now: Cycle, stage: Stage) -> bool {
+        self.ring.advance(now);
+        for b in 0..self.boards {
+            while let Some((_, mut packet)) = self.ring.receive(BoardId(b)) {
+                let origin = packet.origin();
+                if origin == BoardId(b) {
+                    if self.corrupted[b as usize] {
+                        // Checksum failure at the origin: discard the
+                        // mangled token and resend; the fresh copy must
+                        // make a full loop.
+                        self.corrupted[b as usize] = false;
+                        self.retries += 1;
+                        let token = self.fresh_token(origin, stage);
+                        self.ring.send(now, BoardId(b), token);
+                        self.deadline = self
+                            .deadline
+                            .max(now + self.ring.round_trip() + self.retry.grace);
+                    } else {
+                        if let ControlPacket::BoardRequest { reports, .. } = &packet {
+                            self.rcs[b as usize].update_incoming(reports);
+                        }
+                        self.home[b as usize] = true;
+                    }
+                } else {
+                    if let ControlPacket::BoardRequest { reports, .. } = &mut packet {
+                        if let Some(r) = self.rcs[b as usize].report_toward(origin) {
+                            reports.push(r);
+                        }
+                    }
+                    self.ring.send(now, BoardId(b), packet);
+                }
+            }
+        }
+        if self.home.iter().all(|&h| h) {
+            return true;
+        }
+        if now >= self.deadline {
+            self.watchdog_fire(now, stage);
+        }
+        false
+    }
+
+    /// The stage watchdog: some token missed its deadline. Relaunch every
+    /// missing token and double the grace window; give up (set the error)
+    /// once the retry budget is exhausted.
+    fn watchdog_fire(&mut self, now: Cycle, stage: Stage) {
+        if self.attempts >= self.retry.max_retries {
+            self.error = Some(ProtocolError::RingStalled {
+                stage,
+                attempts: self.attempts,
+            });
+            return;
+        }
+        self.attempts += 1;
+        for b in 0..self.boards {
+            if !self.home[b as usize] {
+                self.retries += 1;
+                let token = self.fresh_token(BoardId(b), stage);
+                self.ring.send(now, BoardId(b), token);
+            }
+        }
+        let backoff = self.retry.grace << self.attempts.min(16);
+        self.deadline = now + self.ring.round_trip() + backoff;
+    }
+
+    /// Fail-safe abort: no grants, the error attached.
+    fn fail_outcome(&mut self, now: Cycle) -> RoundOutcome {
+        let outcome = RoundOutcome {
+            grants: Vec::new(),
+            commands: vec![Vec::new(); self.boards as usize],
+            completed_at: now - self.start,
+            retries: self.retries,
+            error: self.error,
+        };
+        self.outcome = Some(outcome.clone());
+        self.phase = RoundPhase::Done;
+        outcome
+    }
+
     /// Advances to cycle `now`; returns the outcome exactly once, on the
-    /// cycle the round completes.
+    /// cycle the round completes (or aborts).
     pub fn tick(&mut self, now: Cycle) -> Option<RoundOutcome> {
         match self.phase {
             RoundPhase::LinkRequest { until } => {
                 if now >= until {
-                    // Launch every board's Board Request simultaneously —
-                    // the lock-step launch of Fig. 4(b).
-                    for b in 0..self.boards {
-                        self.ring.send(
-                            now,
-                            BoardId(b),
-                            ControlPacket::BoardRequest {
-                                origin: BoardId(b),
-                                reports: vec![],
-                            },
-                        );
-                    }
-                    self.phase = RoundPhase::BoardRequest { hops: 0 };
+                    self.launch_ring_stage(now, Stage::BoardRequest);
+                    self.phase = RoundPhase::BoardRequest;
                 }
                 None
             }
-            RoundPhase::BoardRequest { hops } => {
-                self.ring.advance(now);
-                let mut progressed = false;
-                for b in 0..self.boards {
-                    while let Some((_, mut packet)) = self.ring.receive(BoardId(b)) {
-                        progressed = true;
-                        let origin = packet.origin();
-                        if origin == BoardId(b) {
-                            if let ControlPacket::BoardRequest { reports, .. } = &packet {
-                                self.rcs[b as usize].update_incoming(reports);
-                            }
-                        } else {
-                            if let ControlPacket::BoardRequest { reports, .. } = &mut packet {
-                                if let Some(r) = self.rcs[b as usize].report_toward(origin) {
-                                    reports.push(r);
-                                }
-                            }
-                            self.ring.send(now, BoardId(b), packet);
-                        }
-                    }
-                }
-                if progressed {
-                    let hops = hops + 1;
-                    if hops == self.boards {
-                        // All packets are home: Reconfigure starts.
-                        self.phase = RoundPhase::Reconfigure {
-                            until: now + self.timing.stage_cycles(Stage::Reconfigure),
-                        };
-                    } else {
-                        self.phase = RoundPhase::BoardRequest { hops };
-                    }
+            RoundPhase::BoardRequest => {
+                if self.tick_ring_stage(now, Stage::BoardRequest) {
+                    // All tokens are home: Reconfigure starts.
+                    self.phase = RoundPhase::Reconfigure {
+                        until: now + self.timing.stage_cycles(Stage::Reconfigure),
+                    };
+                } else if self.error.is_some() {
+                    return Some(self.fail_outcome(now));
                 }
                 None
             }
@@ -214,45 +461,20 @@ impl DbrRound {
                             &self.demands[d as usize],
                         );
                         self.grants.extend(grants.iter().copied());
-                        self.ring.send(
-                            now,
-                            BoardId(d),
-                            ControlPacket::BoardResponse {
-                                origin: BoardId(d),
-                                grants,
-                            },
-                        );
+                        self.response_grants[d as usize] = grants;
                     }
-                    self.phase = RoundPhase::BoardResponse { hops: 0 };
+                    self.launch_ring_stage(now, Stage::BoardResponse);
+                    self.phase = RoundPhase::BoardResponse;
                 }
                 None
             }
-            RoundPhase::BoardResponse { hops } => {
-                self.ring.advance(now);
-                let mut progressed = false;
-                for b in 0..self.boards {
-                    while let Some((_, packet)) = self.ring.receive(BoardId(b)) {
-                        progressed = true;
-                        let origin = packet.origin();
-                        if origin != BoardId(b) {
-                            if let ControlPacket::BoardResponse { grants, .. } = &packet {
-                                // Each RC notes the grants that concern it;
-                                // command synthesis happens at stage end.
-                                let _ = grants;
-                            }
-                            self.ring.send(now, BoardId(b), packet);
-                        }
-                    }
-                }
-                if progressed {
-                    let hops = hops + 1;
-                    if hops == self.boards {
-                        self.phase = RoundPhase::LinkResponse {
-                            until: now + self.timing.stage_cycles(Stage::LinkResponse),
-                        };
-                    } else {
-                        self.phase = RoundPhase::BoardResponse { hops };
-                    }
+            RoundPhase::BoardResponse => {
+                if self.tick_ring_stage(now, Stage::BoardResponse) {
+                    self.phase = RoundPhase::LinkResponse {
+                        until: now + self.timing.stage_cycles(Stage::LinkResponse),
+                    };
+                } else if self.error.is_some() {
+                    return Some(self.fail_outcome(now));
                 }
                 None
             }
@@ -265,6 +487,8 @@ impl DbrRound {
                         grants: self.grants.clone(),
                         commands,
                         completed_at: now - self.start,
+                        retries: self.retries,
+                        error: None,
                     };
                     self.outcome = Some(outcome.clone());
                     self.phase = RoundPhase::Done;
@@ -345,6 +569,26 @@ mod tests {
         (outgoing, demands)
     }
 
+    /// Drives a round tick by tick, injecting `fault` at cycle `fault_at`.
+    fn run_with_fault(
+        mut round: DbrRound,
+        start: Cycle,
+        fault_at: Cycle,
+        fault: TokenFault,
+    ) -> RoundOutcome {
+        let mut now = start;
+        loop {
+            if now == fault_at {
+                round.inject_fault(fault);
+            }
+            if let Some(outcome) = round.tick(now) {
+                return outcome;
+            }
+            assert!(now < start + 10_000, "faulted round failed to converge");
+            now += 1;
+        }
+    }
+
     #[test]
     fn round_reaches_the_direct_decision() {
         let (outgoing, demands) = scenario();
@@ -363,6 +607,8 @@ mod tests {
             .sum();
         assert_eq!(offs, 2);
         assert!(round.is_done());
+        assert_eq!(outcome.retries, 0);
+        assert!(outcome.error.is_none());
     }
 
     #[test]
@@ -439,5 +685,182 @@ mod tests {
                 "done"
             ]
         );
+    }
+
+    #[test]
+    fn token_loss_mid_ring_recovers_with_one_retry() {
+        let (outgoing, demands) = scenario();
+        let t = timing();
+        let baseline = DbrRound::new(
+            t,
+            AllocPolicy::paper(),
+            0,
+            outgoing.clone(),
+            demands.clone(),
+        )
+        .run_to_completion();
+        // Board Request launches at link_req = 5; drop board 1's token at 6.
+        let round = DbrRound::new(t, AllocPolicy::paper(), 0, outgoing, demands);
+        let policy = RetryPolicy::default();
+        let outcome = run_with_fault(
+            round,
+            0,
+            6,
+            TokenFault {
+                victim: BoardId(1),
+                corrupt: false,
+            },
+        );
+        assert!(outcome.error.is_none(), "round must complete via retry");
+        assert_eq!(outcome.retries, 1);
+        // Exactly the analytic recovery delay on top of the clean latency.
+        assert_eq!(
+            outcome.completed_at,
+            t.dbr_latency() + policy.recovery_delay(&t, false)
+        );
+        // And the decisions are unchanged: the relaunched token recollected
+        // the same statistics.
+        assert_eq!(outcome.grants, baseline.grants);
+    }
+
+    #[test]
+    fn token_loss_before_launch_strikes_at_launch() {
+        let (outgoing, demands) = scenario();
+        let t = timing();
+        let round = DbrRound::new(t, AllocPolicy::paper(), 0, outgoing, demands);
+        // Injected during Link Request (no token in flight yet): the fault
+        // arms and the victim's token never enters the ring at launch.
+        let outcome = run_with_fault(
+            round,
+            0,
+            2,
+            TokenFault {
+                victim: BoardId(2),
+                corrupt: false,
+            },
+        );
+        assert!(outcome.error.is_none());
+        assert_eq!(outcome.retries, 1);
+        assert_eq!(
+            outcome.completed_at,
+            t.dbr_latency() + RetryPolicy::default().recovery_delay(&t, false)
+        );
+    }
+
+    #[test]
+    fn corrupted_token_is_detected_on_return_and_resent() {
+        let (outgoing, demands) = scenario();
+        let t = timing();
+        let baseline = DbrRound::new(
+            t,
+            AllocPolicy::paper(),
+            0,
+            outgoing.clone(),
+            demands.clone(),
+        )
+        .run_to_completion();
+        let round = DbrRound::new(t, AllocPolicy::paper(), 0, outgoing, demands);
+        let outcome = run_with_fault(
+            round,
+            0,
+            6,
+            TokenFault {
+                victim: BoardId(1),
+                corrupt: true,
+            },
+        );
+        assert!(outcome.error.is_none());
+        assert_eq!(outcome.retries, 1);
+        // Detection is free (checksum on return); only the resend loop is
+        // paid — no grace window.
+        assert_eq!(
+            outcome.completed_at,
+            t.dbr_latency() + RetryPolicy::default().recovery_delay(&t, true)
+        );
+        assert_eq!(outcome.grants, baseline.grants);
+    }
+
+    #[test]
+    fn board_response_token_loss_preserves_the_decisions() {
+        let (outgoing, demands) = scenario();
+        let t = timing();
+        let baseline = DbrRound::new(
+            t,
+            AllocPolicy::paper(),
+            0,
+            outgoing.clone(),
+            demands.clone(),
+        )
+        .run_to_completion();
+        // Reconfigure ends (and Board Response launches) at 5 + 8 + 4 = 17;
+        // hit board 3's response token right after.
+        let round = DbrRound::new(t, AllocPolicy::paper(), 0, outgoing, demands);
+        let outcome = run_with_fault(
+            round,
+            0,
+            18,
+            TokenFault {
+                victim: BoardId(3),
+                corrupt: false,
+            },
+        );
+        assert!(outcome.error.is_none());
+        assert_eq!(outcome.retries, 1);
+        assert_eq!(outcome.grants, baseline.grants);
+        assert_eq!(
+            outcome.completed_at,
+            t.dbr_latency() + RetryPolicy::default().recovery_delay(&t, false)
+        );
+    }
+
+    #[test]
+    fn persistent_loss_aborts_fail_safe_after_max_retries() {
+        let (outgoing, demands) = scenario();
+        let t = timing();
+        let mut round =
+            DbrRound::new(t, AllocPolicy::paper(), 0, outgoing, demands).with_retry(RetryPolicy {
+                grace: 4,
+                max_retries: 2,
+            });
+        // An adversarial jammer: board 1's token is destroyed every cycle,
+        // including every relaunch.
+        let mut now = 0;
+        let outcome = loop {
+            round.inject_fault(TokenFault {
+                victim: BoardId(1),
+                corrupt: false,
+            });
+            if let Some(outcome) = round.tick(now) {
+                break outcome;
+            }
+            assert!(now < 10_000, "abort path must terminate");
+            now += 1;
+        };
+        assert_eq!(
+            outcome.error,
+            Some(ProtocolError::RingStalled {
+                stage: Stage::BoardRequest,
+                attempts: 2,
+            })
+        );
+        assert!(
+            outcome.grants.is_empty(),
+            "fail-safe abort must not act on partial state"
+        );
+        assert!(outcome.commands.iter().all(|c| c.is_empty()));
+        assert!(outcome.retries >= 2);
+    }
+
+    #[test]
+    fn fault_after_completion_is_inert() {
+        let (outgoing, demands) = scenario();
+        let mut round = DbrRound::new(timing(), AllocPolicy::paper(), 0, outgoing, demands);
+        round.run_to_completion();
+        round.inject_fault(TokenFault {
+            victim: BoardId(0),
+            corrupt: false,
+        });
+        assert!(round.is_done());
+        assert_eq!(round.retries(), 0);
     }
 }

@@ -121,6 +121,26 @@ impl ControlRing {
     pub fn queued(&self) -> usize {
         self.delivered.iter().map(|q| q.len()).sum()
     }
+
+    /// True when a packet originated by `origin` is in flight or queued.
+    pub fn has_packet_from(&self, origin: BoardId) -> bool {
+        self.in_flight.iter().any(|f| f.packet.origin() == origin)
+            || self
+                .delivered
+                .iter()
+                .any(|q| q.iter().any(|(_, p)| p.origin() == origin))
+    }
+
+    /// Removes every packet originated by `origin` from the ring (token
+    /// loss). Returns whether anything was dropped.
+    pub fn drop_packet_from(&mut self, origin: BoardId) -> bool {
+        let before = self.in_flight.len() + self.queued();
+        self.in_flight.retain(|f| f.packet.origin() != origin);
+        for q in &mut self.delivered {
+            q.retain(|(_, p)| p.origin() != origin);
+        }
+        before != self.in_flight.len() + self.queued()
+    }
 }
 
 #[cfg(test)]

@@ -100,7 +100,10 @@ impl FlitInjector {
             self.next = 0;
         }
         // Inject the next flit of the in-progress packet if space allows.
-        let pkt = self.current.expect("in-progress packet set above");
+        let Some(pkt) = self.current else {
+            // Unreachable: `current` was set (or refilled) above.
+            return false;
+        };
         if router.can_accept(self.port, self.vc) {
             router.inject(self.port, self.vc, pkt.flit_at(self.next));
             self.next += 1;

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # router — cycle-accurate electrical virtual-channel router
 //!
 //! The Intra-Board Interconnect (IBI) of E-RAPID is "scalable electrical"

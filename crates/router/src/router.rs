@@ -266,11 +266,14 @@ impl Router {
                         }
                     }
                     VcState::Routing { done_at } if now >= done_at => {
-                        let dst = ivc
-                            .buffer
-                            .front()
-                            .expect("routing VC lost its head flit")
-                            .dst;
+                        let Some(front) = ivc.buffer.front() else {
+                            // A routing VC without a head flit is corrupt
+                            // state; recover by resetting it to Idle.
+                            debug_assert!(false, "routing VC lost its head flit");
+                            ivc.state = VcState::Idle;
+                            continue;
+                        };
+                        let dst = front.dst;
                         let out_port = self.route.route(dst);
                         assert!(
                             out_port.index() < self.cfg.out_ports as usize,
@@ -380,17 +383,24 @@ impl Router {
             if !any {
                 continue;
             }
-            let winner = self.sa_arbiters[out]
-                .arbitrate(&requests)
-                .expect("requests were non-empty");
+            let Some(winner) = self.sa_arbiters[out].arbitrate(&requests) else {
+                // Unreachable (`any` guaranteed a requester); skip the port
+                // rather than corrupting switch state.
+                debug_assert!(false, "arbitration failed with requests pending");
+                continue;
+            };
             self.stats.sa_stalls += (requests.iter().filter(|&&r| r).count() - 1) as u64;
             let (p, v) = (winner / vcs, winner % vcs);
             input_port_used[p] = true;
             let ivc = &mut self.inputs[p][v];
             let VcState::Active { out_vc, .. } = ivc.state else {
-                unreachable!("winner was Active");
+                debug_assert!(false, "SA winner was not Active");
+                continue;
             };
-            let flit = ivc.buffer.pop().expect("winner had a flit");
+            let Some(flit) = ivc.buffer.pop() else {
+                debug_assert!(false, "SA winner had no flit buffered");
+                continue;
+            };
             self.buffered -= 1;
             self.out_credits[out][out_vc as usize].consume();
             self.stats.traversed += 1;

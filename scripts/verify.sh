@@ -20,4 +20,8 @@ cargo build --release --workspace
 echo "== cargo test -q =="
 cargo test -q --workspace
 
+echo "== resilience smoke (quick fault-scenario matrix) =="
+ERAPID_QUICK=1 cargo run --release -q -p erapid-bench --bin resilience > /dev/null
+rm -f RESILIENCE_*.json
+
 echo "verify: all checks passed"

@@ -138,6 +138,71 @@ fn parallel_sweep_identical_to_sequential() {
 }
 
 #[test]
+fn same_seed_and_fault_plan_reproduce_the_run_exactly() {
+    // A faulted run is still a pure function of (config, pattern, load,
+    // plan): the FaultPlan travels inside the config, so replaying the
+    // same plan with the same seed gives a byte-identical RunResult.
+    use erapid_suite::erapid_core::experiment::run_once;
+    use erapid_suite::erapid_core::faults::{FaultKind, FaultPlan};
+    let faults = FaultPlan::new()
+        .receiver_outage(3, 1, 3000, 9000)
+        .at(
+            5000,
+            FaultKind::LcStuck {
+                board: 0,
+                dest: 3,
+                wavelength: 1,
+            },
+        )
+        .at(4010, FaultKind::TokenLoss { victim: 2 });
+    for mode in [NetworkMode::NpB, NetworkMode::PB] {
+        let mut cfg = SystemConfig::small(mode);
+        cfg.seed = 17;
+        cfg.faults = faults.clone();
+        let a = run_once(cfg.clone(), TrafficPattern::Complement, 0.4, plan());
+        let b = run_once(cfg, TrafficPattern::Complement, 0.4, plan());
+        assert_eq!(a, b, "mode {mode:?} faulted run not reproducible");
+    }
+}
+
+#[test]
+fn parallel_sweep_identical_to_sequential_under_faults() {
+    // The run-level executor must stay invisible when the points carry an
+    // active fault schedule: 1-thread and 4-thread sweeps of faulted
+    // configs return identical RunResults in identical order.
+    use erapid_suite::erapid_core::faults::FaultPlan;
+    use erapid_suite::erapid_core::runner::{run_points, RunPoint};
+    use std::num::NonZeroUsize;
+    let points = |_| -> Vec<RunPoint> {
+        [0.2, 0.5, 0.8]
+            .iter()
+            .map(|&load| {
+                let mut cfg = SystemConfig::small(NetworkMode::PB);
+                cfg.seed = 11;
+                cfg.faults = FaultPlan::relock_storm(9, cfg.boards, 2500, 5500, 6, 300)
+                    .receiver_outage(3, 1, 3000, 6000);
+                RunPoint {
+                    cfg,
+                    pattern: TrafficPattern::Complement,
+                    load,
+                    plan: plan(),
+                }
+            })
+            .collect()
+    };
+    let seq = run_points(NonZeroUsize::new(1).unwrap(), points(()));
+    let par = run_points(NonZeroUsize::new(4).unwrap(), points(()));
+    assert_eq!(seq.len(), par.len());
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(
+            s, p,
+            "faulted load {} diverged under parallel execution",
+            s.load
+        );
+    }
+}
+
+#[test]
 fn board_step_buffer_reuse_conserves_deliveries() {
     // Regression for the zero-allocation hot path: driving a board through
     // `step_into` with one reused (dirty-capacity) buffer must produce the

@@ -5,7 +5,9 @@
 //! developed in the authors' later work.)
 
 use erapid_suite::desim::phase::PhasePlan;
-use erapid_suite::erapid_core::config::{NetworkMode, SystemConfig};
+use erapid_suite::erapid_core::config::{ControlPlane, NetworkMode, SystemConfig};
+use erapid_suite::erapid_core::experiment::run_once;
+use erapid_suite::erapid_core::faults::{FaultKind, FaultPlan};
 use erapid_suite::erapid_core::system::System;
 use erapid_suite::photonics::rwa::StaticRwa;
 use erapid_suite::photonics::wavelength::BoardId;
@@ -81,6 +83,96 @@ fn reconfigured_network_keeps_comparable_delivery_volume() {
     // One dead wavelength costs little total volume once DBR re-routes.
     let ratio = delivered_fault as f64 / delivered_ok as f64;
     assert!(ratio > 0.85, "delivery ratio {ratio}");
+}
+
+#[test]
+fn token_loss_round_completes_via_retry_instead_of_deadlocking() {
+    // Regression (a): losing an LS token mid-round must not hang the
+    // control plane. The round watchdog detects the silent loss, relaunches
+    // the stage, and the round's decisions still land — the run finishes,
+    // DBR still grants, and the abort fail-safe never fires.
+    let mut cfg = SystemConfig::small(NetworkMode::PB);
+    cfg.control_plane = ControlPlane::MessageLevel;
+    // First bandwidth boundary is t = 4000 (window 2000, even windows
+    // trigger Bandwidth); 10 cycles later the token is mid-ring.
+    cfg.faults = FaultPlan::new().at(4010, FaultKind::TokenLoss { victim: 1 });
+    let faulted = run_once(
+        cfg.clone(),
+        TrafficPattern::Complement,
+        0.4,
+        PhasePlan::new(2000, 6000).with_max_cycles(40_000),
+    );
+    cfg.faults = FaultPlan::new();
+    let clean = run_once(
+        cfg,
+        TrafficPattern::Complement,
+        0.4,
+        PhasePlan::new(2000, 6000).with_max_cycles(40_000),
+    );
+    assert!(
+        faulted.ls_retries >= 1,
+        "the watchdog must have resent the lost token"
+    );
+    assert_eq!(faulted.ls_aborts, 0, "retry must succeed, not abort");
+    assert!(faulted.grants > 0, "the recovered round still reconfigures");
+    assert_eq!(
+        faulted.grants, clean.grants,
+        "recovery delays the decisions but must not change them"
+    );
+    assert_eq!(faulted.undrained, 0, "every labelled packet drains");
+}
+
+#[test]
+fn throughput_recovers_after_receiver_repair() {
+    // Regression (b): after a receiver failure *and* repair, steady state
+    // must return — measured entirely post-repair, accepted throughput
+    // stays within 5% of a fault-free run of the same seed.
+    let outage = FaultPlan::new().receiver_outage(3, 1, 4000, 8000);
+    let plan = PhasePlan::new(12_000, 12_000).with_max_cycles(80_000);
+    let mut cfg = SystemConfig::small(NetworkMode::NpB);
+    cfg.faults = outage;
+    let repaired = run_once(cfg, TrafficPattern::Complement, 0.3, plan);
+    let clean = run_once(
+        SystemConfig::small(NetworkMode::NpB),
+        TrafficPattern::Complement,
+        0.3,
+        plan,
+    );
+    assert_eq!(repaired.undrained, 0, "no packet may stay stuck");
+    let rel = (repaired.throughput - clean.throughput).abs() / clean.throughput;
+    assert!(
+        rel < 0.05,
+        "post-repair throughput {} vs fault-free {} diverges by {:.1}%",
+        repaired.throughput,
+        clean.throughput,
+        100.0 * rel
+    );
+}
+
+#[test]
+fn repair_restores_the_static_network_too() {
+    // `repair_receiver` is the inverse of `fail_receiver` even without DBR:
+    // once the receiver is back, NP-NB's static wavelength relights and the
+    // previously-starved flow drains.
+    let cfg = SystemConfig::small(NetworkMode::NpNb);
+    let rwa = StaticRwa::new(cfg.boards);
+    let w = rwa.wavelength(BoardId(0), BoardId(3)).0;
+    let mut sys = System::new(cfg, TrafficPattern::Complement, 0.3, plan());
+    while sys.now() < FAULT_AT {
+        sys.step();
+    }
+    sys.fail_receiver(3, w);
+    while sys.now() < 2 * FAULT_AT {
+        sys.step();
+    }
+    sys.repair_receiver(3, w);
+    sys.run();
+    let m = sys.metrics();
+    assert_eq!(
+        m.tracker.outstanding(),
+        0,
+        "repaired static network must drain the orphaned flow"
+    );
 }
 
 #[test]
