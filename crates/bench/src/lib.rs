@@ -13,6 +13,8 @@
 //! * `ERAPID_THREADS=<n>` — worker threads for the run-level executor
 //!   (default: all available cores; results are byte-identical for any
 //!   value).
+//! * `ERAPID_TRACE=<path>` — where the `tracereport` binary writes its
+//!   JSONL event trace (a Chrome/Perfetto trace lands next to it).
 
 use erapid_core::config::{NetworkMode, SystemConfig};
 use erapid_core::experiment::{default_plan, paper_loads, run_once, RunResult};
@@ -65,6 +67,8 @@ pub struct BenchConfig {
     pub threads: NonZeroUsize,
     /// Directory CSVs (and the perf report) are written to.
     pub results: PathBuf,
+    /// Event-trace output path (`tracereport` only; `None` = default).
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for BenchConfig {
@@ -73,13 +77,14 @@ impl Default for BenchConfig {
             quick: false,
             threads: runner::available_threads(),
             results: PathBuf::from("results"),
+            trace: None,
         }
     }
 }
 
 impl BenchConfig {
-    /// Reads `ERAPID_QUICK`, `ERAPID_THREADS` and `ERAPID_RESULTS`.
-    /// Binaries call this once at the top of `main`.
+    /// Reads `ERAPID_QUICK`, `ERAPID_THREADS`, `ERAPID_RESULTS` and
+    /// `ERAPID_TRACE`. Binaries call this once at the top of `main`.
     pub fn from_env() -> Self {
         Self {
             quick: std::env::var("ERAPID_QUICK")
@@ -89,6 +94,10 @@ impl BenchConfig {
             results: PathBuf::from(
                 std::env::var("ERAPID_RESULTS").unwrap_or_else(|_| "results".into()),
             ),
+            trace: std::env::var("ERAPID_TRACE")
+                .ok()
+                .filter(|v| !v.trim().is_empty())
+                .map(PathBuf::from),
         }
     }
 

@@ -121,6 +121,12 @@ impl Board {
         &self.router
     }
 
+    /// Drains the router's buffered-flit high-water mark (per-window
+    /// congestion gauge for the telemetry layer).
+    pub fn take_router_peak(&mut self) -> u64 {
+        self.router.take_buffered_peak()
+    }
+
     /// Queues a freshly generated packet at a node NI.
     pub fn enqueue_node_packet(&mut self, local_node: u16, packet: Packet) {
         self.node_inj[local_node as usize].enqueue(packet);

@@ -3,6 +3,7 @@
 
 use crate::error::ErapidError;
 use crate::faults::FaultPlan;
+use erapid_telemetry::TraceConfig;
 use photonics::bitrate::RateLadder;
 use photonics::fiber::Fiber;
 use photonics::power::LinkPowerModel;
@@ -140,6 +141,10 @@ pub struct SystemConfig {
     pub faults: FaultPlan,
     /// LS control-plane detection/recovery policy.
     pub retry: RetryPolicy,
+    /// Cycle-level event tracing (off by default — the null sink costs one
+    /// never-taken branch per emit point). Plain data, so the config stays
+    /// `Clone + Debug`; each `System` builds its own recorder from it.
+    pub trace: TraceConfig,
 }
 
 impl SystemConfig {
@@ -168,6 +173,7 @@ impl SystemConfig {
             seed: 0xE4A9_1D07,
             faults: FaultPlan::new(),
             retry: RetryPolicy::default(),
+            trace: TraceConfig::off(),
         }
     }
 

@@ -9,6 +9,7 @@ use crate::config::{NetworkMode, SystemConfig};
 use crate::system::System;
 use desim::phase::PhasePlan;
 use desim::Cycle;
+use erapid_telemetry::{TraceRecord, WindowSnapshot};
 use traffic::pattern::TrafficPattern;
 
 /// One run's headline numbers.
@@ -52,6 +53,24 @@ pub fn default_plan(window: Cycle) -> PhasePlan {
     PhasePlan::new(3 * window, 6 * window).with_max_cycles(40 * window)
 }
 
+/// Everything a traced run recorded beyond its [`RunResult`]: the
+/// cycle-stamped event stream plus the per-window metric snapshots
+/// (column names in registration order). Empty (but well-formed) when the
+/// point's [`SystemConfig::trace`] was off.
+#[derive(Debug, Clone, Default)]
+pub struct RunTrace {
+    /// Recorded events, in emission (= simulation) order.
+    pub records: Vec<TraceRecord>,
+    /// Events lost to ring-buffer overwrite (0 = complete trace).
+    pub dropped: u64,
+    /// Counter column names for [`WindowSnapshot::counters`].
+    pub counter_names: Vec<String>,
+    /// Gauge column names for [`WindowSnapshot::gauges`].
+    pub gauge_names: Vec<String>,
+    /// One snapshot per completed lock-step window.
+    pub windows: Vec<WindowSnapshot>,
+}
+
 /// Runs one configuration at one load point.
 pub fn run_once(
     cfg: SystemConfig,
@@ -59,13 +78,33 @@ pub fn run_once(
     load: f64,
     plan: PhasePlan,
 ) -> RunResult {
+    run_once_traced(cfg, pattern, load, plan).0
+}
+
+/// Runs one configuration at one load point, returning the trace the
+/// system recorded alongside the headline numbers. Tracing observes the
+/// run without perturbing it: the [`RunResult`] is byte-identical whether
+/// `cfg.trace` is on or off.
+pub fn run_once_traced(
+    cfg: SystemConfig,
+    pattern: TrafficPattern,
+    load: f64,
+    plan: PhasePlan,
+) -> (RunResult, RunTrace) {
     let capacity = cfg.capacity().uniform_capacity();
     let mut sys = System::new(cfg, pattern, load, plan);
     let cycles = sys.run();
+    let trace = RunTrace {
+        counter_names: sys.metric_counter_names(),
+        gauge_names: sys.metric_gauge_names(),
+        dropped: sys.trace_dropped(),
+        records: sys.take_trace_records(),
+        windows: sys.take_metric_windows(),
+    };
     let m = sys.metrics();
     let (grants, retunes) = sys.srs().reconfig_counts();
     let (ls_retries, ls_aborts) = sys.control_stats();
-    RunResult {
+    let result = RunResult {
         load,
         throughput: m.throughput_ppc(),
         throughput_norm: m.throughput_ppc() / capacity,
@@ -80,7 +119,8 @@ pub fn run_once(
         ls_retries,
         ls_aborts,
         cycles,
-    }
+    };
+    (result, trace)
 }
 
 /// Sweeps the load axis for one (mode, pattern) pair on `threads` workers.

@@ -40,6 +40,15 @@
 //!   faults),
 //! * [`error`] — the typed [`ErapidError`] the library reports instead of
 //!   aborting.
+//!
+//! Telemetry: enabling [`SystemConfig`]`::trace` (see
+//! [`erapid_telemetry::TraceConfig`]) makes each system record a
+//! cycle-stamped event trace (DPM retunes, CDR relocks, LS stages, DBR
+//! grants, faults, buffer-threshold crossings) plus per-window metric
+//! snapshots into a preallocated, point-local ring buffer. Tracing never
+//! perturbs the simulation, and per-point traces are byte-identical
+//! across sequential and parallel sweeps (see
+//! [`runner::run_points_traced`]).
 
 //!
 //! ## Example: one experiment point
@@ -72,7 +81,9 @@ pub mod txqueue;
 
 pub use config::{NetworkMode, SystemConfig};
 pub use error::ErapidError;
-pub use experiment::{run_once, sweep_loads, sweep_loads_with, RunResult};
+pub use experiment::{
+    run_once, run_once_traced, sweep_loads, sweep_loads_with, RunResult, RunTrace,
+};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
-pub use runner::{parallel_map, run_points, RunPoint};
+pub use runner::{parallel_map, run_points, run_points_traced, RunPoint};
 pub use system::System;

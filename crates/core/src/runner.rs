@@ -19,7 +19,7 @@
 //! machine's available parallelism.
 
 use crate::config::SystemConfig;
-use crate::experiment::{run_once, RunResult};
+use crate::experiment::{run_once, run_once_traced, RunResult, RunTrace};
 use desim::phase::PhasePlan;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -110,6 +110,11 @@ impl RunPoint {
     pub fn run(self) -> RunResult {
         run_once(self.cfg, self.pattern, self.load, self.plan)
     }
+
+    /// Executes this point on the calling thread, keeping its trace.
+    pub fn run_traced(self) -> (RunResult, RunTrace) {
+        run_once_traced(self.cfg, self.pattern, self.load, self.plan)
+    }
 }
 
 /// Fans a batch of experiment points out over `threads` workers; results
@@ -117,6 +122,17 @@ impl RunPoint {
 /// sequentially.
 pub fn run_points(threads: NonZeroUsize, points: Vec<RunPoint>) -> Vec<RunResult> {
     parallel_map(threads, points, RunPoint::run)
+}
+
+/// Traced variant of [`run_points`]. Each worker records into its own
+/// point-local recorder (a [`crate::System`] field — never shared), and
+/// the (result, trace) pairs land in input order, so concatenating the
+/// per-point traces yields the same bytes for any thread count.
+pub fn run_points_traced(
+    threads: NonZeroUsize,
+    points: Vec<RunPoint>,
+) -> Vec<(RunResult, RunTrace)> {
+    parallel_map(threads, points, RunPoint::run_traced)
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 use crate::txqueue::ReadyPacket;
 use desim::queue::{BinaryHeapQueue, EventQueue};
 use desim::Cycle;
+use erapid_telemetry::{NullSink, TraceEvent, TraceSink};
 use netstats::windowed::WindowedUtilization;
 use photonics::bitrate::{RateLadder, RateLevel};
 use photonics::channel::{ChannelState, OpticalChannel};
@@ -145,6 +146,16 @@ impl Srs {
         ((s as usize * self.boards as usize) + d as usize) * self.wavelengths as usize + w as usize
     }
 
+    /// Inverse of [`Srs::idx`]: `(source, destination, wavelength)` of a
+    /// dense channel index (used to stamp trace events).
+    fn coords(&self, i: usize) -> (u16, u16, u16) {
+        let w = i % self.wavelengths as usize;
+        let sd = i / self.wavelengths as usize;
+        let d = sd % self.boards as usize;
+        let s = sd / self.boards as usize;
+        (s as u16, d as u16, w as u16)
+    }
+
     /// The channel for `(source, destination, wavelength)`.
     pub fn channel(&self, s: u16, d: u16, w: u16) -> &OpticalChannel {
         &self.channels[self.idx(s, d, w)]
@@ -192,10 +203,28 @@ impl Srs {
     /// photons left before the failure); packets that would *start* after
     /// `now` cannot.
     pub fn fail_receiver(&mut self, now: Cycle, d: u16, w: u16) {
+        self.fail_receiver_traced(now, d, w, &mut NullSink);
+    }
+
+    /// As [`Srs::fail_receiver`], emitting a [`TraceEvent::Revoke`] for the
+    /// withdrawn wavelength when one was in service.
+    pub fn fail_receiver_traced(&mut self, now: Cycle, d: u16, w: u16, sink: &mut dyn TraceSink) {
         if self.is_failed(d, w) {
             return;
         }
         self.failed.push((d, w));
+        if let Some(owner) = self.owner[d as usize][w as usize] {
+            if sink.enabled() {
+                sink.emit(
+                    now,
+                    TraceEvent::Revoke {
+                        dest: d,
+                        wavelength: w,
+                        owner,
+                    },
+                );
+            }
+        }
         if let Some(s) = self.owner[d as usize][w as usize].take() {
             let i = self.idx(s, d, w);
             self.pending_retune[i] = None;
@@ -267,11 +296,33 @@ impl Srs {
     /// lasers darken once idle; in-flight packets still land. Ownership is
     /// retained so [`Srs::repair_transmitter`] restores service.
     pub fn fail_transmitter(&mut self, now: Cycle, s: u16, d: u16) {
+        self.fail_transmitter_traced(now, s, d, &mut NullSink);
+    }
+
+    /// As [`Srs::fail_transmitter`], emitting a [`TraceEvent::Revoke`] per
+    /// owned wavelength taken out of service.
+    pub fn fail_transmitter_traced(
+        &mut self,
+        now: Cycle,
+        s: u16,
+        d: u16,
+        sink: &mut dyn TraceSink,
+    ) {
         if self.is_tx_failed(s, d) {
             return;
         }
         self.failed_tx.push((s, d));
         for w in self.owned_wavelengths(s, d) {
+            if sink.enabled() {
+                sink.emit(
+                    now,
+                    TraceEvent::Revoke {
+                        dest: d,
+                        wavelength: w,
+                        owner: s,
+                    },
+                );
+            }
             let i = self.idx(s, d, w);
             self.pending_retune[i] = None;
             self.pending_relock[i] = None;
@@ -423,6 +474,18 @@ impl Srs {
     /// Schedules DBR ownership transfers (already delayed by the protocol
     /// latency — the caller passes decisions at their apply time).
     pub fn schedule_grants(&mut self, grants: &[WavelengthGrant]) {
+        self.schedule_grants_traced(0, grants, &mut NullSink);
+    }
+
+    /// As [`Srs::schedule_grants`], emitting a [`TraceEvent::Grant`] per
+    /// accepted ownership flip, stamped `now` (grants dropped by the
+    /// failure race produce no event).
+    pub fn schedule_grants_traced(
+        &mut self,
+        now: Cycle,
+        grants: &[WavelengthGrant],
+        sink: &mut dyn TraceSink,
+    ) {
         for &grant in grants {
             if self.is_failed(grant.destination.0, grant.wavelength.0)
                 || self.is_tx_failed(grant.to.0, grant.destination.0)
@@ -437,6 +500,17 @@ impl Srs {
             let w = grant.wavelength.0;
             debug_assert_eq!(self.owner[d as usize][w as usize], Some(grant.from.0));
             self.owner[d as usize][w as usize] = Some(grant.to.0);
+            if sink.enabled() {
+                sink.emit(
+                    now,
+                    TraceEvent::Grant {
+                        dest: d,
+                        wavelength: w,
+                        from: grant.from.0,
+                        to: grant.to.0,
+                    },
+                );
+            }
             // Cancel any pending retune on the donor channel.
             let di = self.idx(grant.from.0, d, w);
             self.pending_retune[di] = None;
@@ -451,6 +525,14 @@ impl Srs {
     /// Per-cycle housekeeping: settle channels, complete retunes and
     /// ownership transfers.
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_traced(now, &mut NullSink);
+    }
+
+    /// As [`Srs::tick`], emitting [`TraceEvent::RelockStart`]/
+    /// [`TraceEvent::RelockEnd`] when a CDR relock engages (the end event
+    /// is stamped `now + penalty` — the blackout span is deterministic) and
+    /// [`TraceEvent::DpmApplied`] when a pending retune takes effect.
+    pub fn tick_traced(&mut self, now: Cycle, sink: &mut dyn TraceSink) {
         // Settle every on channel (cheap: only owned ones are on).
         for c in &mut self.channels {
             if c.is_on() {
@@ -468,6 +550,26 @@ impl Srs {
                     c.power_on_dark(now, penalty);
                     self.pending_relock[i] = None;
                     self.relocks_applied += 1;
+                    if sink.enabled() {
+                        let (src, dest, wavelength) = self.coords(i);
+                        sink.emit(
+                            now,
+                            TraceEvent::RelockStart {
+                                src,
+                                dest,
+                                wavelength,
+                                penalty,
+                            },
+                        );
+                        sink.emit(
+                            now + penalty,
+                            TraceEvent::RelockEnd {
+                                src,
+                                dest,
+                                wavelength,
+                            },
+                        );
+                    }
                 } else if !c.is_on() {
                     self.pending_relock[i] = None;
                 }
@@ -481,6 +583,18 @@ impl Srs {
                     c.begin_transition(now, level, penalty);
                     self.pending_retune[i] = None;
                     self.retunes_applied += 1;
+                    if sink.enabled() {
+                        let (src, dest, wavelength) = self.coords(i);
+                        sink.emit(
+                            now,
+                            TraceEvent::DpmApplied {
+                                src,
+                                dest,
+                                wavelength,
+                                level: level.0,
+                            },
+                        );
+                    }
                 } else if !c.is_on() {
                     self.pending_retune[i] = None;
                 }

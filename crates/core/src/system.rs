@@ -20,8 +20,13 @@ use crate::metrics::RunMetrics;
 use crate::srs::Srs;
 use desim::phase::{Phase, PhasePlan};
 use desim::Cycle;
+use erapid_telemetry::{
+    CounterId, FaultLabel, GaugeId, LsStageLabel, MetricRegistry, TraceEvent, TraceRecord,
+    TraceSink, Tracer, WindowLabel, WindowSnapshot,
+};
 use photonics::wavelength::{BoardId, Wavelength};
 use reconfig::alloc::{FlowDemand, IncomingLink};
+use reconfig::lc::ThresholdWatch;
 use reconfig::lockstep::WindowKind;
 use reconfig::msg::{LinkReading, WavelengthGrant};
 use reconfig::protocol::{DbrRound, TokenFault};
@@ -62,6 +67,52 @@ pub struct System {
     ls_retries: u64,
     /// DBR rounds aborted fail-safe after exhausting the retry budget.
     ls_aborted: u64,
+    /// Cycle-level event tracer (null unless `cfg.trace.enabled`).
+    tracer: Tracer,
+    /// Window-granularity metric registry (None when tracing is off).
+    registry: Option<(MetricRegistry, TelemetryIds)>,
+    /// `R_w` boundaries seen (tags window-boundary events and metric rows).
+    window_index: u64,
+    /// DBR rounds triggered (tags LS stage and outcome events).
+    dbr_rounds: u64,
+    /// Per `(board, dest)` B_max edge detectors (empty when tracing is off).
+    buffer_watch: Vec<ThresholdWatch>,
+}
+
+/// Handles of the metrics a traced run registers (fixed registration order
+/// keeps exports byte-identical across runs).
+struct TelemetryIds {
+    retunes: CounterId,
+    grants: CounterId,
+    rounds: CounterId,
+    faults: CounterId,
+    buffer_crossings: CounterId,
+    router_peak: GaugeId,
+    lasers_on: GaugeId,
+}
+
+fn build_registry() -> (MetricRegistry, TelemetryIds) {
+    let mut reg = MetricRegistry::new();
+    let ids = TelemetryIds {
+        retunes: reg.counter("dpm_retunes"),
+        grants: reg.counter("dbr_grants"),
+        rounds: reg.counter("dbr_rounds"),
+        faults: reg.counter("faults"),
+        buffer_crossings: reg.counter("buffer_crossings"),
+        router_peak: reg.gauge("router_peak_flits"),
+        lasers_on: reg.gauge("lasers_on"),
+    };
+    (reg, ids)
+}
+
+fn stage_label(stage: Stage) -> LsStageLabel {
+    match stage {
+        Stage::LinkRequest => LsStageLabel::LinkRequest,
+        Stage::BoardRequest => LsStageLabel::BoardRequest,
+        Stage::Reconfigure => LsStageLabel::Reconfigure,
+        Stage::BoardResponse => LsStageLabel::BoardResponse,
+        Stage::LinkResponse => LsStageLabel::LinkResponse,
+    }
 }
 
 impl System {
@@ -93,6 +144,13 @@ impl System {
             cfg.transition.penalty(),
         );
         let metrics = RunMetrics::new(nodes as usize, plan);
+        let tracer = Tracer::from_config(cfg.trace);
+        let registry = cfg.trace.enabled.then(build_registry);
+        let buffer_watch = if cfg.trace.enabled {
+            vec![ThresholdWatch::new(cfg.alloc.b_max); cfg.boards as usize * cfg.boards as usize]
+        } else {
+            Vec::new()
+        };
         Self {
             cfg,
             boards,
@@ -110,6 +168,11 @@ impl System {
             armed_analytic_delay: 0,
             ls_retries: 0,
             ls_aborted: 0,
+            tracer,
+            registry,
+            window_index: 0,
+            dbr_rounds: 0,
+            buffer_watch,
         }
     }
 
@@ -171,7 +234,7 @@ impl System {
         self.step_boards(now);
         self.transmit(now);
         self.receive(now);
-        self.srs.tick(now);
+        self.srs.tick_traced(now, &mut self.tracer);
         let mw = self.srs.record_cycle();
         if self.metrics.measuring(now) {
             self.metrics.power.record(mw);
@@ -198,8 +261,11 @@ impl System {
         for b in &mut self.boards {
             b.roll_windows();
         }
+        if self.tracer.enabled() {
+            self.boundary_telemetry(now);
+        }
         match self.cfg.schedule.kind_at(now) {
-            Some(WindowKind::Power) if self.cfg.mode.power_aware() => self.power_cycle(),
+            Some(WindowKind::Power) if self.cfg.mode.power_aware() => self.power_cycle(now),
             Some(WindowKind::Bandwidth) if self.cfg.mode.bandwidth_reconfig() => {
                 self.bandwidth_cycle(now)
             }
@@ -207,9 +273,66 @@ impl System {
         }
     }
 
+    /// Traced-run bookkeeping at an `R_w` boundary: stamp the boundary,
+    /// detect `B_max` crossings on the just-closed window's buffer
+    /// occupancies, sample the congestion gauges, and finalize the metric
+    /// window. Runs only when tracing is enabled; it observes the
+    /// simulation without mutating any of its state.
+    fn boundary_telemetry(&mut self, now: Cycle) {
+        self.window_index += 1;
+        if let Some(kind) = self.cfg.schedule.kind_at(now) {
+            let kind = match kind {
+                WindowKind::Power => WindowLabel::Power,
+                WindowKind::Bandwidth => WindowLabel::Bandwidth,
+            };
+            self.tracer.emit(
+                now,
+                TraceEvent::WindowBoundary {
+                    index: self.window_index,
+                    kind,
+                },
+            );
+        }
+        let boards = self.cfg.boards;
+        for s in 0..boards {
+            for d in 0..boards {
+                if s == d {
+                    continue;
+                }
+                let util = self.boards[s as usize].buffer_util(d);
+                let watch = &mut self.buffer_watch[s as usize * boards as usize + d as usize];
+                if let Some(above) = watch.observe(util) {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::BufferThreshold {
+                            board: s,
+                            dest: d,
+                            above,
+                            util_milli: (util * 1000.0).round() as u32,
+                        },
+                    );
+                    if let Some((reg, ids)) = &mut self.registry {
+                        reg.inc(ids.buffer_crossings, 1);
+                    }
+                }
+            }
+        }
+        if let Some((reg, ids)) = &mut self.registry {
+            let peak = self
+                .boards
+                .iter_mut()
+                .map(|b| b.take_router_peak())
+                .max()
+                .unwrap_or(0);
+            reg.set(ids.router_peak, peak as f64);
+            reg.set(ids.lasers_on, self.srs.lasers_on() as f64);
+            reg.roll(self.window_index);
+        }
+    }
+
     /// DPM: every lit channel's LC compares the previous window's
     /// `Link_util`/`Buffer_util` against the thresholds and retunes.
-    fn power_cycle(&mut self) {
+    fn power_cycle(&mut self, now: Cycle) {
         let Some(policy) = self.cfg.dpm_policy() else {
             return;
         };
@@ -235,6 +358,13 @@ impl System {
                 };
                 if target != level {
                     let penalty = self.cfg.transition.penalty_between(level, target);
+                    if self.tracer.enabled() {
+                        let ev = self.cfg.transition.retune_event(s, d, w, level, target);
+                        self.tracer.emit(now, ev);
+                        if let Some((reg, ids)) = &mut self.registry {
+                            reg.inc(ids.retunes, 1);
+                        }
+                    }
                     self.srs.schedule_retune(s, d, w, target, penalty);
                 }
             }
@@ -245,12 +375,49 @@ impl System {
     /// the analytic five-stage latency, or launch a message-level round on
     /// the control ring that arrives at the same answer the slow way.
     fn bandwidth_cycle(&mut self, now: Cycle) {
+        self.dbr_rounds += 1;
+        if let Some((reg, ids)) = &mut self.registry {
+            reg.inc(ids.rounds, 1);
+        }
         match self.cfg.control_plane {
             ControlPlane::AnalyticLatency => {
                 let all_grants = self.compute_grants();
                 // Token faults armed before this round delay its apply time
                 // (the mirror of the message-level round recovering them).
                 let delay = std::mem::take(&mut self.armed_analytic_delay);
+                if self.tracer.enabled() {
+                    // The analytic plane never walks the five stages, but
+                    // their spans are fully determined by the timing model;
+                    // synthesize them so both planes produce comparable
+                    // per-round traces (future-stamped events are fine —
+                    // exporters keep emission order, viewers sort by time).
+                    let round = self.dbr_rounds;
+                    let mut start = now;
+                    for &stage in Stage::all().iter() {
+                        let end = start + self.cfg.timing.stage_cycles(stage);
+                        self.tracer.emit(
+                            start,
+                            TraceEvent::LsStage {
+                                round,
+                                stage: stage_label(stage),
+                                end,
+                            },
+                        );
+                        start = end;
+                    }
+                    self.tracer.emit(
+                        now + self.cfg.timing.dbr_latency() + delay,
+                        TraceEvent::DbrOutcome {
+                            round,
+                            grants: all_grants.len() as u32,
+                            retries: 0,
+                            aborted: false,
+                        },
+                    );
+                }
+                if let Some((reg, ids)) = &mut self.registry {
+                    reg.inc(ids.grants, all_grants.len() as u64);
+                }
                 if !all_grants.is_empty() {
                     self.pending_dbr
                         .push((now + self.cfg.timing.dbr_latency() + delay, all_grants));
@@ -358,7 +525,40 @@ impl System {
                 // keeps its current allocation.
                 self.ls_aborted += 1;
             }
-            self.srs.schedule_grants(&outcome.grants);
+            if self.tracer.enabled() {
+                // Rounds never overlap (stale ones are dropped at the next
+                // window boundary), so the live round is always the latest.
+                let id = self.dbr_rounds;
+                let log = round.take_stage_log();
+                for pair in log.windows(2) {
+                    let (start, label) = pair[0];
+                    let (end, _) = pair[1];
+                    if let Some(stage) = LsStageLabel::from_name(label) {
+                        self.tracer.emit(
+                            start,
+                            TraceEvent::LsStage {
+                                round: id,
+                                stage,
+                                end,
+                            },
+                        );
+                    }
+                }
+                self.tracer.emit(
+                    now,
+                    TraceEvent::DbrOutcome {
+                        round: id,
+                        grants: outcome.grants.len() as u32,
+                        retries: outcome.retries,
+                        aborted: outcome.error.is_some(),
+                    },
+                );
+            }
+            if let Some((reg, ids)) = &mut self.registry {
+                reg.inc(ids.grants, outcome.grants.len() as u64);
+            }
+            self.srs
+                .schedule_grants_traced(now, &outcome.grants, &mut self.tracer);
             // Faults that armed too late to strike this round carry over
             // to the next one.
             let leftovers = round.take_armed();
@@ -372,7 +572,8 @@ impl System {
         while i < self.pending_dbr.len() {
             if self.pending_dbr[i].0 <= now {
                 let (_, grants) = self.pending_dbr.swap_remove(i);
-                self.srs.schedule_grants(&grants);
+                self.srs
+                    .schedule_grants_traced(now, &grants, &mut self.tracer);
             } else {
                 i += 1;
             }
@@ -500,15 +701,65 @@ impl System {
     }
 
     fn apply_fault(&mut self, now: Cycle, kind: FaultKind) {
+        if self.tracer.enabled() {
+            // `wavelength: 0` marks "not applicable": the static RWA never
+            // assigns wavelength 0 to a flow, so the sentinel is unambiguous.
+            let (label, board, dest, wavelength) = match kind {
+                FaultKind::ReceiverDown { board, wavelength } => {
+                    (FaultLabel::ReceiverDrop, board, board, wavelength)
+                }
+                FaultKind::ReceiverRepair { board, wavelength } => {
+                    (FaultLabel::ReceiverRepair, board, board, wavelength)
+                }
+                FaultKind::TransmitterDown { board, dest } => {
+                    (FaultLabel::TransmitterDrop, board, dest, 0)
+                }
+                FaultKind::TransmitterRepair { board, dest } => {
+                    (FaultLabel::TransmitterRepair, board, dest, 0)
+                }
+                FaultKind::LcStuck {
+                    board,
+                    dest,
+                    wavelength,
+                } => (FaultLabel::LcStuck, board, dest, wavelength),
+                FaultKind::LcRepair {
+                    board,
+                    dest,
+                    wavelength,
+                } => (FaultLabel::LcUnstuck, board, dest, wavelength),
+                FaultKind::CdrRelock {
+                    board,
+                    dest,
+                    wavelength,
+                    ..
+                } => (FaultLabel::CdrRelock, board, dest, wavelength),
+                FaultKind::TokenLoss { victim } => (FaultLabel::TokenLoss, victim, victim, 0),
+                FaultKind::TokenCorrupt { victim } => (FaultLabel::TokenCorrupt, victim, victim, 0),
+            };
+            self.tracer.emit(
+                now,
+                TraceEvent::Fault {
+                    label,
+                    board,
+                    dest,
+                    wavelength,
+                },
+            );
+            if let Some((reg, ids)) = &mut self.registry {
+                reg.inc(ids.faults, 1);
+            }
+        }
         match kind {
             FaultKind::ReceiverDown { board, wavelength } => {
-                self.srs.fail_receiver(now, board, wavelength)
+                self.srs
+                    .fail_receiver_traced(now, board, wavelength, &mut self.tracer)
             }
             FaultKind::ReceiverRepair { board, wavelength } => {
                 self.srs.repair_receiver(now, board, wavelength)
             }
             FaultKind::TransmitterDown { board, dest } => {
-                self.srs.fail_transmitter(now, board, dest)
+                self.srs
+                    .fail_transmitter_traced(now, board, dest, &mut self.tracer)
             }
             FaultKind::TransmitterRepair { board, dest } => {
                 self.srs.repair_transmitter(now, board, dest)
@@ -596,6 +847,48 @@ impl System {
     /// fail-safe)`.
     pub fn control_stats(&self) -> (u64, u64) {
         (self.ls_retries, self.ls_aborted)
+    }
+
+    /// True when this system records a trace (i.e. [`SystemConfig::trace`]
+    /// enabled it).
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Drains the recorded trace, oldest event first. Empty when tracing is
+    /// off (the default).
+    pub fn take_trace_records(&mut self) -> Vec<TraceRecord> {
+        self.tracer.take_records()
+    }
+
+    /// Events overwritten because the ring-buffer capacity was exceeded.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracer.dropped()
+    }
+
+    /// Drains the per-window metric snapshots (empty when tracing is off).
+    pub fn take_metric_windows(&mut self) -> Vec<WindowSnapshot> {
+        match &mut self.registry {
+            Some((reg, _)) => reg.take_windows(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Counter column names for [`Self::take_metric_windows`] rows, in
+    /// registration (= snapshot) order.
+    pub fn metric_counter_names(&self) -> Vec<String> {
+        match &self.registry {
+            Some((reg, _)) => reg.counter_names().iter().map(|s| s.to_string()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Gauge column names for [`Self::take_metric_windows`] rows.
+    pub fn metric_gauge_names(&self) -> Vec<String> {
+        match &self.registry {
+            Some((reg, _)) => reg.gauge_names().iter().map(|s| s.to_string()).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// True when no packet is anywhere in flight — boards idle *and* the
@@ -937,5 +1230,66 @@ mod tests {
         assert!(sys.is_drained());
         // Idle lasers still burn idle power.
         assert!(sys.metrics().average_power_mw() > 0.0);
+    }
+
+    #[test]
+    fn traced_pb_run_records_ordered_events_and_windows() {
+        let mut cfg = SystemConfig::small(NetworkMode::PB);
+        cfg.trace = erapid_telemetry::TraceConfig::on();
+        let mut sys = System::new(cfg, TrafficPattern::Uniform, 0.5, plan());
+        sys.run();
+        assert!(sys.trace_enabled());
+        assert_eq!(sys.trace_dropped(), 0, "64 KiB ring must fit a small run");
+        let records = sys.take_trace_records();
+        assert!(!records.is_empty(), "a P-B run must emit events");
+        // Emission order is simulation order.
+        assert!(records.windows(2).all(|p| p[0].at <= p[1].at));
+        let tags: std::collections::BTreeSet<&str> =
+            records.iter().map(|r| r.event.tag()).collect();
+        for expected in [
+            "window",
+            "dpm_retune",
+            "dpm_applied",
+            "ls_stage",
+            "dbr_outcome",
+        ] {
+            assert!(tags.contains(expected), "missing {expected} in {tags:?}");
+        }
+        let windows = sys.take_metric_windows();
+        assert!(!windows.is_empty(), "window boundaries must roll snapshots");
+        let names = sys.metric_counter_names();
+        assert_eq!(windows[0].counters.len(), names.len());
+        let retune_col = names
+            .iter()
+            .position(|n| n == "dpm_retunes")
+            .expect("dpm_retunes registered");
+        let total: u64 = windows.iter().map(|w| w.counters[retune_col]).sum();
+        assert!(total > 0, "P-B at load 0.5 must retune at least once");
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_simulation() {
+        let plain = run(NetworkMode::PB, TrafficPattern::Uniform, 0.4);
+        let mut cfg = SystemConfig::small(NetworkMode::PB);
+        cfg.trace = erapid_telemetry::TraceConfig::on();
+        let mut traced = System::new(cfg, TrafficPattern::Uniform, 0.4, plan());
+        traced.run();
+        assert_eq!(
+            plain.metrics().injected_total,
+            traced.metrics().injected_total
+        );
+        assert_eq!(
+            plain.metrics().delivered_total,
+            traced.metrics().delivered_total
+        );
+        assert_eq!(
+            plain.metrics().mean_latency(),
+            traced.metrics().mean_latency()
+        );
+        assert_eq!(
+            plain.srs().reconfig_counts(),
+            traced.srs().reconfig_counts()
+        );
+        assert_eq!(plain.now(), traced.now());
     }
 }

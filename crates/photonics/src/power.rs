@@ -130,12 +130,21 @@ pub struct LinkPowerModel {
     source: PowerSource,
 }
 
+/// The paper's published Table 1 link-power ladder, mW, indexed by
+/// [`RateLevel`]: 8.6 mW @ 2.5 Gbps, 26 mW @ 3.75 Gbps, 43.03 mW @ 5 Gbps.
+///
+/// This is the single source of truth for the published numbers — every
+/// table pinned to the paper (here and in `powermgmt`'s energy accounting)
+/// must read it rather than repeat the literals.
+pub const PAPER_LADDER_MW: [f64; 3] = [8.6, 26.0, 43.03];
+
 impl LinkPowerModel {
-    /// The paper's published totals: 8.6 / 26 / 43.03 mW on the paper ladder.
+    /// The paper's published totals ([`PAPER_LADDER_MW`]) on the paper
+    /// ladder.
     pub fn paper_table() -> Self {
         Self {
             ladder: RateLadder::paper(),
-            totals_mw: vec![8.6, 26.0, 43.03],
+            totals_mw: PAPER_LADDER_MW.to_vec(),
             idle_fraction: DEFAULT_IDLE_FRACTION,
             source: PowerSource::PaperTable,
         }
@@ -240,9 +249,18 @@ mod tests {
     fn paper_table_pins_published_totals() {
         let m = LinkPowerModel::paper_table();
         assert_eq!(m.source(), PowerSource::PaperTable);
-        assert_eq!(m.active_mw(RateLevel(0)), 8.6);
-        assert_eq!(m.active_mw(RateLevel(1)), 26.0);
-        assert_eq!(m.active_mw(RateLevel(2)), 43.03);
+        for (i, &mw) in PAPER_LADDER_MW.iter().enumerate() {
+            assert_eq!(m.active_mw(RateLevel(i as u8)), mw);
+        }
+    }
+
+    #[test]
+    fn paper_ladder_constant_is_the_published_table1() {
+        // Regression pin for the single source of truth: the paper's
+        // Table 1 reads 8.6 / 26 / 43.03 mW. Any edit to PAPER_LADDER_MW
+        // must consciously change this test too.
+        assert_eq!(PAPER_LADDER_MW, [8.6, 26.0, 43.03]);
+        assert_eq!(PAPER_LADDER_MW.len(), RateLadder::paper().len());
     }
 
     #[test]

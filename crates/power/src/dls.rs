@@ -8,6 +8,9 @@
 //! `off_after` consecutive windows is shut down, and is woken as soon as
 //! demand (buffer occupancy) reappears.
 
+use desim::Cycle;
+use erapid_telemetry::{TraceEvent, TraceSink};
+
 /// Shutdown/wake decisions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DlsDecision {
@@ -82,6 +85,38 @@ impl DlsPolicy {
         }
         DlsDecision::Keep
     }
+
+    /// As [`DlsPolicy::observe`], emitting a [`TraceEvent::DlsPower`] at
+    /// cycle `at` for link `(src → dest, wavelength)` whenever the supply
+    /// state actually changes (Shutdown/Wake; Keep is silent).
+    pub fn observe_traced(
+        &mut self,
+        link_util: f64,
+        buffer_util: f64,
+        at: Cycle,
+        link: (u16, u16, u16),
+        sink: &mut dyn TraceSink,
+    ) -> DlsDecision {
+        let decision = self.observe(link_util, buffer_util);
+        if sink.enabled() {
+            let off = match decision {
+                DlsDecision::Shutdown => true,
+                DlsDecision::Wake => false,
+                DlsDecision::Keep => return decision,
+            };
+            let (src, dest, wavelength) = link;
+            sink.emit(
+                at,
+                TraceEvent::DlsPower {
+                    src,
+                    dest,
+                    wavelength,
+                    off,
+                },
+            );
+        }
+        decision
+    }
 }
 
 #[cfg(test)]
@@ -130,5 +165,34 @@ mod tests {
     fn custom_threshold() {
         let mut d = DlsPolicy::new(0.1, 1);
         assert_eq!(d.observe(0.05, 0.0), DlsDecision::Shutdown);
+    }
+
+    #[test]
+    fn traced_observe_emits_only_state_changes() {
+        use erapid_telemetry::RingRecorder;
+
+        let mut d = DlsPolicy::standard();
+        let mut rec = RingRecorder::new(16);
+        let link = (0, 1, 2);
+        d.observe_traced(0.0, 0.0, 2000, link, &mut rec); // keep
+        d.observe_traced(0.0, 0.0, 4000, link, &mut rec); // shutdown
+        d.observe_traced(0.0, 0.0, 6000, link, &mut rec); // keep (off)
+        d.observe_traced(0.0, 0.3, 8000, link, &mut rec); // wake
+        let recs = rec.take_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].at, 4000);
+        assert!(matches!(
+            recs[0].event,
+            TraceEvent::DlsPower {
+                src: 0,
+                dest: 1,
+                wavelength: 2,
+                off: true
+            }
+        ));
+        assert!(matches!(
+            recs[1].event,
+            TraceEvent::DlsPower { off: false, .. }
+        ));
     }
 }

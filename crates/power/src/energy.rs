@@ -103,7 +103,7 @@ impl EnergyAccountant {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use photonics::power::LinkPowerModel;
+    use photonics::power::{LinkPowerModel, PAPER_LADDER_MW};
 
     fn acct() -> EnergyAccountant {
         EnergyAccountant::new(LinkPowerModel::paper_table().with_idle_fraction(0.05))
@@ -111,10 +111,12 @@ mod tests {
 
     #[test]
     fn charges_by_condition() {
+        // Pinned to the canonical paper ladder (8.6/26/43.03 mW) — the
+        // accountant must charge exactly the published Table 1 numbers.
         let mut a = acct();
         let high = RateLevel(2);
-        assert!((a.record(LinkCondition::Active, high) - 43.03).abs() < 1e-9);
-        assert!((a.record(LinkCondition::IdleOn, high) - 43.03 * 0.05).abs() < 1e-9);
+        assert!((a.record(LinkCondition::Active, high) - PAPER_LADDER_MW[2]).abs() < 1e-9);
+        assert!((a.record(LinkCondition::IdleOn, high) - PAPER_LADDER_MW[2] * 0.05).abs() < 1e-9);
         assert_eq!(a.record(LinkCondition::Off, high), 0.0);
         assert_eq!(a.cycle_split(), (1, 1, 1));
     }
@@ -123,10 +125,10 @@ mod tests {
     fn average_over_mixed_cycles() {
         let mut a = acct();
         let low = RateLevel(0);
-        a.record(LinkCondition::Active, low); // 8.6
+        a.record(LinkCondition::Active, low); // PAPER_LADDER_MW[0] = 8.6
         a.record(LinkCondition::Off, low); // 0
-        assert!((a.average_mw() - 4.3).abs() < 1e-9);
-        assert!((a.energy_mw_cycles() - 8.6).abs() < 1e-9);
+        assert!((a.average_mw() - PAPER_LADDER_MW[0] / 2.0).abs() < 1e-9);
+        assert!((a.energy_mw_cycles() - PAPER_LADDER_MW[0]).abs() < 1e-9);
     }
 
     #[test]
@@ -145,7 +147,7 @@ mod tests {
         let a = acct();
         assert_eq!(a.average_mw(), 0.0);
         assert_eq!(a.duty_cycle(), 0.0);
-        assert_eq!(a.model().active_mw(RateLevel(2)), 43.03);
+        assert_eq!(a.model().active_mw(RateLevel(2)), PAPER_LADDER_MW[2]);
     }
 
     #[test]

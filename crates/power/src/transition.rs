@@ -11,6 +11,7 @@
 //! conservative mode is the default used by the reproduction's experiments.
 
 use desim::Cycle;
+use erapid_telemetry::TraceEvent;
 use photonics::bitrate::RateLevel;
 
 /// How transition penalties are charged.
@@ -77,6 +78,27 @@ impl TransitionModel {
             PenaltyMode::FrequencyOnly => self.freq_penalty,
         }
     }
+
+    /// Builds the [`TraceEvent::DpmRetune`] for a DPM decision on channel
+    /// `(src → dest, wavelength)` moving `from → to`, so the trace carries
+    /// exactly the dark-window penalty this model charges.
+    pub fn retune_event(
+        &self,
+        src: u16,
+        dest: u16,
+        wavelength: u16,
+        from: RateLevel,
+        to: RateLevel,
+    ) -> TraceEvent {
+        TraceEvent::DpmRetune {
+            src,
+            dest,
+            wavelength,
+            from_level: from.0,
+            to_level: to.0,
+            penalty: self.penalty_between(from, to),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +124,23 @@ mod tests {
     fn no_transition_no_penalty() {
         let m = TransitionModel::paper();
         assert_eq!(m.penalty_between(RateLevel(1), RateLevel(1)), 0);
+    }
+
+    #[test]
+    fn retune_event_carries_the_charged_penalty() {
+        let m = TransitionModel::paper();
+        let ev = m.retune_event(0, 1, 2, RateLevel(2), RateLevel(0));
+        assert_eq!(
+            ev,
+            TraceEvent::DpmRetune {
+                src: 0,
+                dest: 1,
+                wavelength: 2,
+                from_level: 2,
+                to_level: 0,
+                penalty: 130,
+            }
+        );
     }
 
     #[test]

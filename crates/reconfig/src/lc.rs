@@ -122,6 +122,47 @@ impl LinkController {
     }
 }
 
+/// Edge detector for the DBR trigger threshold `B_max`.
+///
+/// The LC's hardware comparator watches the window-average buffer
+/// occupancy and raises a signal only on *crossings*, not every window —
+/// that is what the telemetry layer records as
+/// `TraceEvent::BufferThreshold`, keeping traces proportional to activity
+/// rather than to run length.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdWatch {
+    b_max: f64,
+    above: bool,
+}
+
+impl ThresholdWatch {
+    /// Watches threshold `b_max` (the `AllocPolicy` trigger), starting
+    /// below it.
+    pub fn new(b_max: f64) -> Self {
+        Self {
+            b_max,
+            above: false,
+        }
+    }
+
+    /// Whether the last observation was above the threshold.
+    pub fn is_above(&self) -> bool {
+        self.above
+    }
+
+    /// Feeds one window-average occupancy; returns `Some(new_side)` on a
+    /// crossing (`true` = now above `B_max`), `None` while the side holds.
+    pub fn observe(&mut self, occupancy: f64) -> Option<bool> {
+        let above = occupancy > self.b_max;
+        if above != self.above {
+            self.above = above;
+            Some(above)
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +268,21 @@ mod tests {
         let mut lc = lc();
         lc.force_level(RateLevel(0));
         assert_eq!(lc.level(), RateLevel(0));
+    }
+
+    #[test]
+    fn threshold_watch_fires_only_on_crossings() {
+        let mut watch = ThresholdWatch::new(0.3);
+        assert!(!watch.is_above());
+        // Below the threshold: no signal.
+        assert_eq!(watch.observe(0.1), None);
+        assert_eq!(watch.observe(0.3), None); // boundary is not a crossing
+                                              // Crossing up fires once, then holds.
+        assert_eq!(watch.observe(0.5), Some(true));
+        assert_eq!(watch.observe(0.9), None);
+        assert!(watch.is_above());
+        // Crossing back down fires the falling edge.
+        assert_eq!(watch.observe(0.2), Some(false));
+        assert_eq!(watch.observe(0.2), None);
     }
 }

@@ -57,7 +57,7 @@ pub mod ring;
 pub mod stages;
 
 pub use alloc::{AllocPolicy, Classification, FlowDemand, Reassignment};
-pub use lc::LinkController;
+pub use lc::{LinkController, ThresholdWatch};
 pub use lockstep::{LockStepSchedule, WindowKind};
 pub use protocol::{ProtocolError, RetryPolicy, TokenFault};
 pub use rc::ReconfigController;

@@ -184,6 +184,12 @@ pub struct DbrRound {
     /// token in flight when the fault struck).
     armed: Vec<TokenFault>,
     error: Option<ProtocolError>,
+    /// Stage transitions observed so far: `(cycle, new stage label)`,
+    /// starting with `(start, "link_request")`. This is the telemetry
+    /// layer's view of the Lock-Step ring — bounded (≤ 6 entries) and
+    /// recorded unconditionally so message-level and analytic traces can
+    /// be compared stage by stage.
+    stage_log: Vec<(Cycle, &'static str)>,
 }
 
 impl DbrRound {
@@ -233,6 +239,7 @@ impl DbrRound {
             retries: 0,
             armed: Vec::new(),
             error: None,
+            stage_log: vec![(start, "link_request")],
         }
     }
 
@@ -258,6 +265,24 @@ impl DbrRound {
     /// Whether the round has completed.
     pub fn is_done(&self) -> bool {
         matches!(self.phase, RoundPhase::Done)
+    }
+
+    /// Stage transitions observed so far: `(cycle, new stage label)`.
+    /// Consecutive entries delimit one stage's span; the final entry is
+    /// `(completion, "done")` once the round resolves.
+    pub fn stage_log(&self) -> &[(Cycle, &'static str)] {
+        &self.stage_log
+    }
+
+    /// Drains the stage log (used by the system tracer on completion).
+    pub fn take_stage_log(&mut self) -> Vec<(Cycle, &'static str)> {
+        std::mem::take(&mut self.stage_log)
+    }
+
+    /// Records a phase change and stamps it in the stage log.
+    fn set_phase(&mut self, now: Cycle, phase: RoundPhase) {
+        self.phase = phase;
+        self.stage_log.push((now, self.stage()));
     }
 
     /// Token resends performed so far.
@@ -418,7 +443,7 @@ impl DbrRound {
             error: self.error,
         };
         self.outcome = Some(outcome.clone());
-        self.phase = RoundPhase::Done;
+        self.set_phase(now, RoundPhase::Done);
         outcome
     }
 
@@ -429,16 +454,19 @@ impl DbrRound {
             RoundPhase::LinkRequest { until } => {
                 if now >= until {
                     self.launch_ring_stage(now, Stage::BoardRequest);
-                    self.phase = RoundPhase::BoardRequest;
+                    self.set_phase(now, RoundPhase::BoardRequest);
                 }
                 None
             }
             RoundPhase::BoardRequest => {
                 if self.tick_ring_stage(now, Stage::BoardRequest) {
                     // All tokens are home: Reconfigure starts.
-                    self.phase = RoundPhase::Reconfigure {
-                        until: now + self.timing.stage_cycles(Stage::Reconfigure),
-                    };
+                    self.set_phase(
+                        now,
+                        RoundPhase::Reconfigure {
+                            until: now + self.timing.stage_cycles(Stage::Reconfigure),
+                        },
+                    );
                 } else if self.error.is_some() {
                     return Some(self.fail_outcome(now));
                 }
@@ -464,15 +492,18 @@ impl DbrRound {
                         self.response_grants[d as usize] = grants;
                     }
                     self.launch_ring_stage(now, Stage::BoardResponse);
-                    self.phase = RoundPhase::BoardResponse;
+                    self.set_phase(now, RoundPhase::BoardResponse);
                 }
                 None
             }
             RoundPhase::BoardResponse => {
                 if self.tick_ring_stage(now, Stage::BoardResponse) {
-                    self.phase = RoundPhase::LinkResponse {
-                        until: now + self.timing.stage_cycles(Stage::LinkResponse),
-                    };
+                    self.set_phase(
+                        now,
+                        RoundPhase::LinkResponse {
+                            until: now + self.timing.stage_cycles(Stage::LinkResponse),
+                        },
+                    );
                 } else if self.error.is_some() {
                     return Some(self.fail_outcome(now));
                 }
@@ -491,7 +522,7 @@ impl DbrRound {
                         error: None,
                     };
                     self.outcome = Some(outcome.clone());
-                    self.phase = RoundPhase::Done;
+                    self.set_phase(now, RoundPhase::Done);
                     return Some(outcome);
                 }
                 None
@@ -685,6 +716,36 @@ mod tests {
                 "done"
             ]
         );
+    }
+
+    #[test]
+    fn stage_log_records_all_transitions_with_cycles() {
+        let (outgoing, demands) = scenario();
+        let t = timing();
+        let mut round = DbrRound::new(t, AllocPolicy::paper(), 0, outgoing, demands);
+        let outcome = round.run_to_completion();
+        let log = round.stage_log();
+        let labels: Vec<&'static str> = log.iter().map(|&(_, l)| l).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "link_request",
+                "board_request",
+                "reconfigure",
+                "board_response",
+                "link_response",
+                "done"
+            ]
+        );
+        // Entries are time-ordered, start at the round start and end at the
+        // completion cycle.
+        assert!(log.windows(2).all(|p| p[0].0 <= p[1].0));
+        assert_eq!(log[0].0, 0);
+        assert_eq!(log[log.len() - 1].0, outcome.completed_at);
+        // Draining leaves the log empty for the next round.
+        let drained = round.take_stage_log();
+        assert_eq!(drained.len(), 6);
+        assert!(round.stage_log().is_empty());
     }
 
     #[test]

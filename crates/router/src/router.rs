@@ -100,6 +100,8 @@ pub struct Router {
     stats: RouterStats,
     /// Flits currently buffered across all input VCs (fast-path check).
     buffered: u64,
+    /// High-water mark of `buffered` since the last telemetry roll.
+    buffered_peak: u64,
     /// VA scratch: free output VCs at the port under arbitration. Persistent
     /// so the per-cycle pipeline allocates nothing in steady state.
     va_free: Vec<usize>,
@@ -140,6 +142,7 @@ impl Router {
                 .collect(),
             stats: RouterStats::default(),
             buffered: 0,
+            buffered_peak: 0,
             va_free: Vec::with_capacity(cfg.vcs as usize),
             va_requests: vec![false; requesters],
             sa_requests: vec![false; requesters],
@@ -203,6 +206,9 @@ impl Router {
         self.inputs[port.index()][vc as usize].buffer.push(flit);
         self.stats.injected += 1;
         self.buffered += 1;
+        if self.buffered > self.buffered_peak {
+            self.buffered_peak = self.buffered;
+        }
     }
 
     /// Returns one credit for `(out_port, out_vc)` — the downstream consumer
@@ -219,6 +225,22 @@ impl Router {
     /// Flits currently buffered in the router's input VCs.
     pub fn buffered_flits(&self) -> u64 {
         self.buffered
+    }
+
+    /// High-water mark of buffered flits since the last
+    /// [`Router::take_buffered_peak`] (a per-window congestion gauge for
+    /// the telemetry layer — one `max` in `inject`, nothing in the fast
+    /// path).
+    pub fn buffered_peak(&self) -> u64 {
+        self.buffered_peak
+    }
+
+    /// Returns the high-water mark and restarts it from the current
+    /// occupancy (called at each R_w window boundary).
+    pub fn take_buffered_peak(&mut self) -> u64 {
+        let peak = self.buffered_peak;
+        self.buffered_peak = self.buffered;
+        peak
     }
 
     /// Advances one cycle; returns the flits that traversed the switch.
@@ -503,6 +525,33 @@ mod tests {
         assert!(log[0].0 >= 2, "head traversed too early at {}", log[0].0);
         assert_eq!(r.stats().traversed, 4);
         assert_eq!(r.stats().injected, 4);
+    }
+
+    #[test]
+    fn buffered_peak_tracks_the_window_high_water_mark() {
+        let mut r = small(4, 4);
+        let flits = packet(1, 1, 4);
+        // Fill one input VC: occupancy and peak both reach 4.
+        for f in flits {
+            r.inject(PortId(0), 0, f);
+        }
+        assert_eq!(r.buffered_flits(), 4);
+        assert_eq!(r.buffered_peak(), 4);
+        // Drain completely; the peak survives until taken.
+        let mut drained = 0;
+        for now in 0..30 {
+            let n = r.step(now).len();
+            drained += n;
+            for _ in 0..n {
+                r.credit(PortId(1), 0);
+            }
+        }
+        assert_eq!(drained, 4);
+        assert_eq!(r.buffered_flits(), 0);
+        assert_eq!(r.buffered_peak(), 4);
+        // Taking the peak restarts it from the current (empty) occupancy.
+        assert_eq!(r.take_buffered_peak(), 4);
+        assert_eq!(r.buffered_peak(), 0);
     }
 
     #[test]

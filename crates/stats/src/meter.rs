@@ -235,6 +235,36 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_percentiles_agree_with_the_sample() {
+        // One packet: every percentile is that packet's bin, and the order
+        // p50 <= p95 <= p99 still holds (a degenerate but legal histogram).
+        let mut m = LatencyMeter::new(64, 8.0);
+        m.record(100, 142); // latency 42 -> bin [40, 48)
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), 42.0);
+        let p50 = m.histogram().p50().unwrap();
+        let p95 = m.p95().unwrap();
+        let p99 = m.p99().unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        for p in [p50, p95, p99] {
+            assert!((40.0..=48.0).contains(&p), "percentile {p} off-bin");
+        }
+    }
+
+    #[test]
+    fn throughput_over_an_empty_interval_is_zero() {
+        // Deliveries recorded but the horizon never advanced past start
+        // (e.g. measurement aborted on the starting cycle): no span, no
+        // throughput, no division by zero.
+        let mut m = ThroughputMeter::new(8);
+        m.start(500);
+        m.deliver(500, 4);
+        assert_eq!(m.throughput(500), 0.0);
+        assert_eq!(m.throughput(400), 0.0, "horizon before start saturates");
+        assert_eq!(m.packets(), 1);
+    }
+
+    #[test]
     fn power_average_and_peak() {
         let mut p = PowerMeter::new();
         p.record(10.0);

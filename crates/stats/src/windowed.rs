@@ -189,6 +189,35 @@ mod tests {
     }
 
     #[test]
+    fn empty_roll_after_a_completed_window_replaces_history() {
+        // Finalizing an empty window is not a no-op: the LS protocol must
+        // see "this link went quiet", not a stale busy reading.
+        let mut u = WindowedUtilization::new(4);
+        for _ in 0..4 {
+            u.record_busy();
+        }
+        assert_eq!(u.roll(), 1.0);
+        assert_eq!(u.roll(), 0.0, "empty window must freeze as idle");
+        assert_eq!(u.previous(), 0.0);
+        assert_eq!(u.completed_windows(), 2);
+    }
+
+    #[test]
+    fn clear_mid_window_discards_partial_accumulation() {
+        let mut u = WindowedUtilization::new(4);
+        u.record_busy();
+        u.record_busy();
+        u.clear();
+        // The interrupted window's busy cycles must not leak into the next
+        // roll, and the window geometry is unchanged.
+        assert_eq!(u.current(), 0.0);
+        assert_eq!(u.window(), 4);
+        u.record(0.5);
+        assert_eq!(u.roll(), 0.125); // 0.5 over the nominal 4-cycle window
+        assert_eq!(u.completed_windows(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         WindowedUtilization::new(0);

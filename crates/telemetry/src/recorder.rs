@@ -1,0 +1,297 @@
+//! Preallocated ring-buffer recorder and the plain-data trace configuration
+//! that rides inside `SystemConfig`.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::sink::TraceSink;
+use desim::Cycle;
+
+/// Default ring capacity: generous for a paper-scale run (a 40-window
+/// paper64 run emits a few thousand events) while staying a bounded,
+/// one-time allocation.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Plain-data tracing knobs.
+///
+/// This is what `SystemConfig` carries (it stays `Copy + Debug`, so the
+/// config keeps deriving `Clone`/`Debug`); each `System` builds its own
+/// [`Tracer`] from it, which keeps per-point traces independent and the
+/// parallel runner byte-identical to the sequential one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch. Off means the system uses a null tracer: no
+    /// allocation, no per-event work.
+    pub enabled: bool,
+    /// Ring capacity in events; once full the oldest events are overwritten
+    /// (and counted in [`RingRecorder::dropped`]).
+    pub capacity: usize,
+    /// Keep one event in every `sample_every` (1 = keep all). Sampling is
+    /// deterministic: it counts emissions, never wall time.
+    pub sample_every: u32,
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default for every stock config).
+    pub fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: 0,
+            sample_every: 1,
+        }
+    }
+
+    /// Full-fidelity tracing into a default-capacity ring.
+    pub fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: DEFAULT_CAPACITY,
+            sample_every: 1,
+        }
+    }
+
+    /// Tracing with an explicit ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity,
+            sample_every: 1,
+        }
+    }
+
+    /// Keep only one event in every `n` (deterministic count-based
+    /// sampling). `n` is clamped to at least 1.
+    pub fn sampled(mut self, n: u32) -> Self {
+        self.sample_every = n.max(1);
+        self
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+/// A preallocated ring buffer of [`TraceRecord`]s.
+///
+/// All storage is allocated in `new`; `emit` never allocates, so enabling
+/// tracing cannot change the allocator behaviour of the simulation hot
+/// path. When the ring wraps, the oldest records are overwritten and
+/// counted in [`dropped`](RingRecorder::dropped).
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    buf: Vec<TraceRecord>,
+    capacity: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+    sample_every: u32,
+    /// Emissions seen since the last kept event.
+    phase: u32,
+}
+
+impl RingRecorder {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+            sample_every: 1,
+            phase: 0,
+        }
+    }
+
+    pub fn with_sampling(mut self, sample_every: u32) -> Self {
+        self.sample_every = sample_every.max(1);
+        self
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten after the ring wrapped (0 when sized right).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records in emission order (oldest first).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Drains the ring, returning records in emission order.
+    pub fn take_records(&mut self) -> Vec<TraceRecord> {
+        let out = self.records();
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn emit(&mut self, at: Cycle, event: TraceEvent) {
+        self.phase += 1;
+        if self.phase < self.sample_every {
+            return;
+        }
+        self.phase = 0;
+        let rec = TraceRecord { at, event };
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Static-dispatch tracer a `System` owns: either a null sink or a ring
+/// recorder. An enum (rather than `Box<dyn TraceSink>`) keeps the disabled
+/// path to a single predictable branch and keeps the owner `Debug + Clone`.
+#[derive(Debug, Clone, Default)]
+pub enum Tracer {
+    #[default]
+    Null,
+    Ring(RingRecorder),
+}
+
+impl Tracer {
+    pub fn from_config(cfg: TraceConfig) -> Self {
+        if !cfg.enabled {
+            return Tracer::Null;
+        }
+        let capacity = if cfg.capacity == 0 {
+            DEFAULT_CAPACITY
+        } else {
+            cfg.capacity
+        };
+        Tracer::Ring(RingRecorder::new(capacity).with_sampling(cfg.sample_every))
+    }
+
+    /// Drains any recorded events (empty for the null tracer).
+    pub fn take_records(&mut self) -> Vec<TraceRecord> {
+        match self {
+            Tracer::Null => Vec::new(),
+            Tracer::Ring(r) => r.take_records(),
+        }
+    }
+
+    /// Events overwritten due to ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        match self {
+            Tracer::Null => 0,
+            Tracer::Ring(r) => r.dropped(),
+        }
+    }
+}
+
+impl TraceSink for Tracer {
+    #[inline]
+    fn enabled(&self) -> bool {
+        matches!(self, Tracer::Ring(_))
+    }
+
+    #[inline]
+    fn emit(&mut self, at: Cycle, event: TraceEvent) {
+        if let Tracer::Ring(r) = self {
+            r.emit(at, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::WindowLabel;
+
+    fn window(i: u64) -> TraceEvent {
+        TraceEvent::WindowBoundary {
+            index: i,
+            kind: WindowLabel::Power,
+        }
+    }
+
+    #[test]
+    fn records_in_emission_order() {
+        let mut r = RingRecorder::new(8);
+        for i in 0..5 {
+            r.emit(i * 10, window(i));
+        }
+        let recs = r.records();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(recs[0].at, 0);
+        assert_eq!(recs[4].at, 40);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let mut r = RingRecorder::new(4);
+        for i in 0..7 {
+            r.emit(i, window(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 3);
+        let recs = r.records();
+        // Oldest surviving record is emission 3.
+        assert_eq!(
+            recs.iter().map(|r| r.at).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth() {
+        let mut r = RingRecorder::new(64).with_sampling(3);
+        for i in 0..9 {
+            r.emit(i, window(i));
+        }
+        let kept: Vec<Cycle> = r.records().iter().map(|r| r.at).collect();
+        assert_eq!(kept, vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn take_records_drains() {
+        let mut r = RingRecorder::new(4);
+        r.emit(1, window(1));
+        assert_eq!(r.take_records().len(), 1);
+        assert!(r.is_empty());
+        assert!(r.records().is_empty());
+    }
+
+    #[test]
+    fn tracer_from_config() {
+        let mut t = Tracer::from_config(TraceConfig::off());
+        assert!(!t.enabled());
+        t.emit(0, window(0));
+        assert!(t.take_records().is_empty());
+
+        let mut t = Tracer::from_config(TraceConfig::with_capacity(16));
+        assert!(t.enabled());
+        t.emit(7, window(1));
+        let recs = t.take_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].at, 7);
+    }
+
+    #[test]
+    fn zero_capacity_config_falls_back_to_default() {
+        let t = Tracer::from_config(TraceConfig {
+            enabled: true,
+            capacity: 0,
+            sample_every: 1,
+        });
+        assert!(t.enabled());
+    }
+}

@@ -1,0 +1,184 @@
+//! Window-granularity metric registry.
+//!
+//! Counters and gauges are snapshotted at every R_w window boundary into a
+//! [`WindowSnapshot`] row (counters as deltas since the previous boundary),
+//! which is exactly the table the `tracereport` bin renders. Histograms
+//! reuse [`netstats::Histogram`] and accumulate over the whole run, since
+//! percentile queries need more samples than one window provides.
+
+use netstats::Histogram;
+
+/// Handle to a registered counter (monotonic within a window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge (last-write-wins within a window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram (run-cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// One finalized window row: counter deltas and gauge values in
+/// registration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Window index (counting boundaries from 1).
+    pub window: u64,
+    pub counters: Vec<u64>,
+    pub gauges: Vec<f64>,
+}
+
+/// A registry of named metrics rolled at window granularity.
+///
+/// Registration order is fixed by the caller, so two runs that register the
+/// same metrics in the same order produce byte-identical exports.
+#[derive(Debug, Clone, Default)]
+pub struct MetricRegistry {
+    counter_names: Vec<&'static str>,
+    counters: Vec<u64>,
+    /// Counter totals at the previous window boundary (for deltas).
+    counters_at_roll: Vec<u64>,
+    gauge_names: Vec<&'static str>,
+    gauges: Vec<f64>,
+    hist_names: Vec<&'static str>,
+    hists: Vec<Histogram>,
+    windows: Vec<WindowSnapshot>,
+}
+
+impl MetricRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.counter_names.push(name);
+        self.counters.push(0);
+        self.counters_at_roll.push(0);
+        CounterId(self.counter_names.len() - 1)
+    }
+
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        self.gauge_names.push(name);
+        self.gauges.push(0.0);
+        GaugeId(self.gauge_names.len() - 1)
+    }
+
+    pub fn histogram(&mut self, name: &'static str, bins: usize, bin_width: f64) -> HistId {
+        self.hist_names.push(name);
+        self.hists.push(Histogram::new(bins, bin_width));
+        HistId(self.hist_names.len() - 1)
+    }
+
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0] += by;
+    }
+
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0] = value;
+    }
+
+    #[inline]
+    pub fn observe(&mut self, id: HistId, value: f64) {
+        self.hists[id.0].record(value);
+    }
+
+    /// Run-cumulative total of a counter (across all windows so far).
+    pub fn counter_total(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    pub fn histogram_ref(&self, id: HistId) -> &Histogram {
+        &self.hists[id.0]
+    }
+
+    /// Finalizes the current window: snapshots counter deltas and gauge
+    /// values into a [`WindowSnapshot`] tagged `window`.
+    pub fn roll(&mut self, window: u64) {
+        let deltas: Vec<u64> = self
+            .counters
+            .iter()
+            .zip(&self.counters_at_roll)
+            .map(|(now, prev)| now - prev)
+            .collect();
+        self.counters_at_roll.copy_from_slice(&self.counters);
+        self.windows.push(WindowSnapshot {
+            window,
+            counters: deltas,
+            gauges: self.gauges.clone(),
+        });
+    }
+
+    pub fn counter_names(&self) -> &[&'static str] {
+        &self.counter_names
+    }
+
+    pub fn gauge_names(&self) -> &[&'static str] {
+        &self.gauge_names
+    }
+
+    pub fn windows(&self) -> &[WindowSnapshot] {
+        &self.windows
+    }
+
+    pub fn take_windows(&mut self) -> Vec<WindowSnapshot> {
+        std::mem::take(&mut self.windows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_as_deltas() {
+        let mut reg = MetricRegistry::new();
+        let c = reg.counter("grants");
+        reg.inc(c, 3);
+        reg.roll(1);
+        reg.inc(c, 2);
+        reg.roll(2);
+        reg.roll(3);
+        let w = reg.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].counters, vec![3]);
+        assert_eq!(w[1].counters, vec![2]);
+        assert_eq!(w[2].counters, vec![0]);
+        assert_eq!(reg.counter_total(c), 5);
+    }
+
+    #[test]
+    fn gauges_carry_last_value() {
+        let mut reg = MetricRegistry::new();
+        let g = reg.gauge("buffer_util");
+        reg.set(g, 0.25);
+        reg.roll(1);
+        reg.roll(2);
+        assert_eq!(reg.windows()[0].gauges, vec![0.25]);
+        // Gauges are last-write-wins, not reset at the boundary.
+        assert_eq!(reg.windows()[1].gauges, vec![0.25]);
+    }
+
+    #[test]
+    fn histograms_accumulate_over_run() {
+        let mut reg = MetricRegistry::new();
+        let h = reg.histogram("latency", 64, 4.0);
+        reg.observe(h, 10.0);
+        reg.roll(1);
+        reg.observe(h, 20.0);
+        assert_eq!(reg.histogram_ref(h).count(), 2);
+    }
+
+    #[test]
+    fn registration_order_is_export_order() {
+        let mut reg = MetricRegistry::new();
+        reg.counter("a");
+        reg.counter("b");
+        reg.gauge("g");
+        assert_eq!(reg.counter_names(), &["a", "b"]);
+        assert_eq!(reg.gauge_names(), &["g"]);
+    }
+}

@@ -24,4 +24,32 @@ echo "== resilience smoke (quick fault-scenario matrix) =="
 ERAPID_QUICK=1 cargo run --release -q -p erapid-bench --bin resilience > /dev/null
 rm -f RESILIENCE_*.json
 
+echo "== tracereport smoke (quick traced run, JSONL + Perfetto outputs) =="
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+ERAPID_QUICK=1 ERAPID_TRACE="$trace_dir/trace.jsonl" \
+    cargo run --release -q -p erapid-bench --bin tracereport > /dev/null
+test -s "$trace_dir/trace.jsonl" || { echo "tracereport smoke: empty trace"; exit 1; }
+test -s "$trace_dir/trace.trace.json" || { echo "tracereport smoke: missing chrome trace"; exit 1; }
+if command -v python3 > /dev/null; then
+    python3 - "$trace_dir/trace.jsonl" "$trace_dir/trace.trace.json" <<'PY'
+import json, sys
+lines = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        json.loads(line)
+        lines += 1
+assert lines > 0, "no JSONL lines"
+with open(sys.argv[2]) as f:
+    doc = json.load(f)
+assert doc["traceEvents"], "empty chrome trace"
+print(f"tracereport smoke: {lines} JSONL lines, {len(doc['traceEvents'])} chrome events")
+PY
+else
+    # No python3: cheap structural check — every line is a JSON object.
+    bad=$(grep -cv '^{.*}$' "$trace_dir/trace.jsonl" || true)
+    [ "$bad" = "0" ] || { echo "tracereport smoke: $bad malformed JSONL lines"; exit 1; }
+    echo "tracereport smoke: $(wc -l < "$trace_dir/trace.jsonl") JSONL lines (structural check only)"
+fi
+
 echo "verify: all checks passed"
