@@ -21,7 +21,7 @@
 
 use erapid_bench::BenchConfig;
 use erapid_core::config::{NetworkMode, SystemConfig};
-use erapid_core::experiment::default_plan;
+use erapid_core::experiment::{default_plan, TraceSource};
 use erapid_core::runner::{run_points, RunPoint};
 use netstats::table::Table;
 use photonics::bitrate::RateLadder;
@@ -59,6 +59,7 @@ fn table(
                 pattern: pattern.clone(),
                 load,
                 plan,
+                source: TraceSource::Generate,
             }
         })
         .collect();
@@ -235,6 +236,7 @@ fn main() {
                         pattern: TrafficPattern::Complement,
                         load,
                         plan,
+                        source: TraceSource::Generate,
                     }
                 })
         })

@@ -12,7 +12,7 @@
 
 use erapid_bench::{git_sha, BenchConfig};
 use erapid_core::config::{NetworkMode, SystemConfig};
-use erapid_core::experiment::default_plan;
+use erapid_core::experiment::{default_plan, TraceSource};
 use erapid_core::runner::{run_points, RunPoint};
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -68,6 +68,7 @@ fn main() {
                     pattern: pattern.clone(),
                     load,
                     plan,
+                    source: TraceSource::Generate,
                 }
             })
             .collect();

@@ -30,7 +30,7 @@
 
 use erapid_bench::{git_sha, BenchConfig};
 use erapid_core::config::{ControlPlane, NetworkMode, SystemConfig};
-use erapid_core::experiment::RunResult;
+use erapid_core::experiment::{RunResult, TraceSource};
 use erapid_core::faults::{FaultKind, FaultPlan};
 use erapid_core::runner::{run_points, RunPoint};
 use netstats::table::Table;
@@ -130,6 +130,7 @@ fn point(
         pattern: TrafficPattern::Complement,
         load: LOAD,
         plan,
+        source: TraceSource::Generate,
     }
 }
 

@@ -15,7 +15,7 @@
 
 use erapid_bench::BenchConfig;
 use erapid_core::config::{NetworkMode, SystemConfig};
-use erapid_core::experiment::default_plan;
+use erapid_core::experiment::{default_plan, TraceSource};
 use erapid_core::runner::{run_points, RunPoint};
 use netstats::table::Table;
 use reconfig::stages::ProtocolTiming;
@@ -41,6 +41,7 @@ fn point(boards: u16, mode: NetworkMode, pattern: &TrafficPattern, load: f64) ->
         pattern: pattern.clone(),
         load,
         plan,
+        source: TraceSource::Generate,
     }
 }
 

@@ -8,7 +8,7 @@
 
 use erapid_bench::BenchConfig;
 use erapid_core::config::{NetworkMode, SystemConfig};
-use erapid_core::experiment::default_plan;
+use erapid_core::experiment::{default_plan, TraceSource};
 use erapid_core::runner::{run_points, RunPoint};
 use netstats::table::Table;
 use reconfig::stages::ProtocolTiming;
@@ -115,6 +115,7 @@ fn main() {
                     pattern: pattern.clone(),
                     load,
                     plan,
+                    source: TraceSource::Generate,
                 },
             )
         })

@@ -25,7 +25,7 @@
 
 use erapid_bench::BenchConfig;
 use erapid_core::config::{NetworkMode, SystemConfig};
-use erapid_core::experiment::RunTrace;
+use erapid_core::experiment::{RunTrace, TraceSource};
 use erapid_core::faults::{FaultKind, FaultPlan};
 use erapid_core::runner::{run_points_traced, RunPoint};
 use erapid_telemetry::{jsonl, TraceConfig, TraceEvent};
@@ -75,6 +75,7 @@ fn point(bench: &BenchConfig, load: f64) -> RunPoint {
         pattern: TrafficPattern::Complement,
         load,
         plan,
+        source: TraceSource::Generate,
     }
 }
 

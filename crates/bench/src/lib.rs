@@ -17,7 +17,7 @@
 //!   JSONL event trace (a Chrome/Perfetto trace lands next to it).
 
 use erapid_core::config::{NetworkMode, SystemConfig};
-use erapid_core::experiment::{default_plan, paper_loads, run_once, RunResult};
+use erapid_core::experiment::{default_plan, paper_loads, run_once, RunResult, TraceSource};
 use erapid_core::runner::{self, RunPoint};
 use netstats::csv::Csv;
 use netstats::table::Table;
@@ -136,6 +136,7 @@ impl BenchConfig {
             pattern: pattern.clone(),
             load,
             plan,
+            source: TraceSource::Generate,
         }
     }
 

@@ -145,6 +145,13 @@ pub struct SystemConfig {
     /// never-taken branch per emit point). Plain data, so the config stays
     /// `Clone + Debug`; each `System` builds its own recorder from it.
     pub trace: TraceConfig,
+    /// Record every injection into a [`traffic::trace::TraceRecorder`] for
+    /// later replay (off by default — when off, the hot path pays one
+    /// never-taken branch, the same zero-cost contract as `trace`).
+    pub record_injections: bool,
+    /// Log every delivery as a per-packet `(id, dst, injected, delivered)`
+    /// row for packet-for-packet diffing (off by default).
+    pub packet_log: bool,
 }
 
 impl SystemConfig {
@@ -174,6 +181,8 @@ impl SystemConfig {
             faults: FaultPlan::new(),
             retry: RetryPolicy::default(),
             trace: TraceConfig::off(),
+            record_injections: false,
+            packet_log: false,
         }
     }
 

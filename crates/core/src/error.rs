@@ -9,6 +9,7 @@
 
 use desim::Cycle;
 use reconfig::protocol::ProtocolError;
+use traffic::trace::TraceError;
 
 /// Any recoverable error the system model can report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +25,8 @@ pub enum ErapidError {
     },
     /// The LS control protocol failed permanently (retries exhausted).
     Protocol(ProtocolError),
+    /// Injection-trace recording, encoding or decoding failed.
+    Trace(TraceError),
 }
 
 impl std::fmt::Display for ErapidError {
@@ -34,6 +37,7 @@ impl std::fmt::Display for ErapidError {
                 write!(f, "invalid fault event at cycle {at}: {reason}")
             }
             ErapidError::Protocol(e) => write!(f, "control protocol failure: {e}"),
+            ErapidError::Trace(e) => write!(f, "trace failure: {e}"),
         }
     }
 }
@@ -43,6 +47,12 @@ impl std::error::Error for ErapidError {}
 impl From<ProtocolError> for ErapidError {
     fn from(e: ProtocolError) -> Self {
         ErapidError::Protocol(e)
+    }
+}
+
+impl From<TraceError> for ErapidError {
+    fn from(e: TraceError) -> Self {
+        ErapidError::Trace(e)
     }
 }
 
@@ -67,6 +77,9 @@ mod tests {
         .into();
         assert!(matches!(e, ErapidError::Protocol(_)));
         assert!(e.to_string().contains("protocol"));
+        let e: ErapidError = TraceError::OutOfOrder { at: 3, last: 7 }.into();
+        assert!(matches!(e, ErapidError::Trace(_)));
+        assert!(e.to_string().contains("time-ordered"));
     }
 
     #[test]

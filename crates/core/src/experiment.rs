@@ -6,11 +6,14 @@
 //! axis is normalised to the uniform-traffic capacity `N_c`, swept 0.1–0.9.
 
 use crate::config::{NetworkMode, SystemConfig};
+use crate::metrics::PacketDelivery;
 use crate::system::System;
 use desim::phase::PhasePlan;
 use desim::Cycle;
-use erapid_telemetry::{TraceRecord, WindowSnapshot};
+use erapid_telemetry::{HistogramSummary, TraceRecord, WindowSnapshot};
+use std::sync::Arc;
 use traffic::pattern::TrafficPattern;
+use traffic::trace::{InjectionTrace, TraceMeta};
 
 /// One run's headline numbers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +56,27 @@ pub fn default_plan(window: Cycle) -> PhasePlan {
     PhasePlan::new(3 * window, 6 * window).with_max_cycles(40 * window)
 }
 
+/// Where a run's injections come from.
+///
+/// `Generate` is the paper's model: per-node Bernoulli (or bursty) sources
+/// seeded from the config. `Replay` feeds a recorded [`InjectionTrace`]
+/// instead, so two runs under *different* configurations see the exact
+/// same packets — the packet-for-packet comparison a distribution-wise A/B
+/// cannot provide. The trace rides in an [`Arc`] because one recording is
+/// typically replayed across many points (four modes × N loads), and
+/// [`crate::runner::RunPoint`] stays `Clone + Send` for the parallel
+/// executor.
+#[derive(Debug, Clone, Default)]
+pub enum TraceSource {
+    /// Live traffic generators (the default).
+    #[default]
+    Generate,
+    /// Replay this recorded trace; the point's `pattern`/`load` are
+    /// ignored (every injection comes from the trace; the reported
+    /// `RunResult::load` is the trace's recorded load).
+    Replay(Arc<InjectionTrace>),
+}
+
 /// Everything a traced run recorded beyond its [`RunResult`]: the
 /// cycle-stamped event stream plus the per-window metric snapshots
 /// (column names in registration order). Empty (but well-formed) when the
@@ -69,6 +93,12 @@ pub struct RunTrace {
     pub gauge_names: Vec<String>,
     /// One snapshot per completed lock-step window.
     pub windows: Vec<WindowSnapshot>,
+    /// Run-cumulative histogram digests (latency, TX wait), in
+    /// registration order.
+    pub hist_summaries: Vec<HistogramSummary>,
+    /// Per-packet delivery rows (empty unless the point's
+    /// [`SystemConfig::packet_log`] was on).
+    pub packets: Vec<PacketDelivery>,
 }
 
 /// Runs one configuration at one load point.
@@ -94,12 +124,20 @@ pub fn run_once_traced(
     let capacity = cfg.capacity().uniform_capacity();
     let mut sys = System::new(cfg, pattern, load, plan);
     let cycles = sys.run();
+    collect(sys, load, capacity, cycles)
+}
+
+/// Drains a finished system into its `(RunResult, RunTrace)` pair — the
+/// common tail of the generated, recorded and replayed run flavours.
+fn collect(mut sys: System, load: f64, capacity: f64, cycles: Cycle) -> (RunResult, RunTrace) {
     let trace = RunTrace {
         counter_names: sys.metric_counter_names(),
         gauge_names: sys.metric_gauge_names(),
+        hist_summaries: sys.metric_hist_summaries(),
         dropped: sys.trace_dropped(),
         records: sys.take_trace_records(),
         windows: sys.take_metric_windows(),
+        packets: sys.take_packet_log(),
     };
     let m = sys.metrics();
     let (grants, retunes) = sys.srs().reconfig_counts();
@@ -121,6 +159,62 @@ pub fn run_once_traced(
         cycles,
     };
     (result, trace)
+}
+
+/// The provenance header a recording run stamps on its trace. The
+/// `git_sha` is left `"unknown"` — library code does not inspect the
+/// checkout; binaries overwrite it (see `erapid_bench::git_sha`).
+pub fn trace_meta(cfg: &SystemConfig, pattern: &TrafficPattern, load: f64) -> TraceMeta {
+    TraceMeta {
+        seed: cfg.seed,
+        boards: cfg.boards,
+        nodes_per_board: cfg.nodes_per_board,
+        pattern: pattern.name().to_string(),
+        load,
+        git_sha: "unknown".to_string(),
+    }
+}
+
+/// Runs one generated point with injection recording on, returning the
+/// headline numbers plus the recorded workload (with provenance attached).
+/// The recording observes the run without perturbing it: the [`RunResult`]
+/// matches [`run_once`] on the same inputs byte-identically.
+pub fn run_once_recorded(
+    cfg: SystemConfig,
+    pattern: TrafficPattern,
+    load: f64,
+    plan: PhasePlan,
+) -> (RunResult, InjectionTrace) {
+    let mut cfg = cfg;
+    cfg.record_injections = true;
+    let capacity = cfg.capacity().uniform_capacity();
+    let meta = trace_meta(&cfg, &pattern, load);
+    let mut sys = System::new(cfg, pattern, load, plan);
+    let cycles = sys.run();
+    let rec = sys.take_injection_log().unwrap_or_default();
+    let (result, _) = collect(sys, load, capacity, cycles);
+    (result, rec.into_trace(meta))
+}
+
+/// Replays a recorded trace against `cfg` (which may differ from the
+/// recording configuration in mode, thresholds, faults — anything but the
+/// B×D geometry the node ids assume). The reported load is the trace's
+/// recorded load.
+pub fn run_once_replayed(cfg: SystemConfig, trace: &InjectionTrace, plan: PhasePlan) -> RunResult {
+    run_once_replayed_traced(cfg, trace, plan).0
+}
+
+/// Traced variant of [`run_once_replayed`].
+pub fn run_once_replayed_traced(
+    cfg: SystemConfig,
+    trace: &InjectionTrace,
+    plan: PhasePlan,
+) -> (RunResult, RunTrace) {
+    let capacity = cfg.capacity().uniform_capacity();
+    let load = trace.meta.load;
+    let mut sys = System::with_trace(cfg, trace.replayer(), plan);
+    let cycles = sys.run();
+    collect(sys, load, capacity, cycles)
 }
 
 /// Sweeps the load axis for one (mode, pattern) pair on `threads` workers.
@@ -145,6 +239,7 @@ pub fn sweep_loads_with(
                 pattern: pattern.clone(),
                 load,
                 plan,
+                source: TraceSource::Generate,
             }
         })
         .collect();

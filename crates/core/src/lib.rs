@@ -82,8 +82,10 @@ pub mod txqueue;
 pub use config::{NetworkMode, SystemConfig};
 pub use error::ErapidError;
 pub use experiment::{
-    run_once, run_once_traced, sweep_loads, sweep_loads_with, RunResult, RunTrace,
+    run_once, run_once_recorded, run_once_replayed, run_once_replayed_traced, run_once_traced,
+    sweep_loads, sweep_loads_with, trace_meta, RunResult, RunTrace, TraceSource,
 };
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use metrics::PacketDelivery;
 pub use runner::{parallel_map, run_points, run_points_traced, RunPoint};
 pub use system::System;

@@ -6,6 +6,25 @@ use desim::Cycle;
 use netstats::meter::{LatencyMeter, PowerMeter, ThroughputMeter};
 use netstats::running::Running;
 
+/// One delivered packet, as logged when `SystemConfig::packet_log` is on.
+///
+/// Packet ids are assigned sequentially in injection order, so under trace
+/// replay id `k` is the trace's `k`-th entry — a replayed delivery joins
+/// back to its `(cycle, src, dst)` provenance without carrying `src` here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketDelivery {
+    /// Sequential packet id (injection order).
+    pub id: u64,
+    /// Destination node.
+    pub dst: u32,
+    /// Injection cycle.
+    pub injected_at: Cycle,
+    /// Delivery cycle.
+    pub delivered_at: Cycle,
+    /// Whether the packet was injected during the measurement phase.
+    pub labelled: bool,
+}
+
 /// Metrics collected over one simulation run.
 pub struct RunMetrics {
     /// Accepted throughput (deliveries during the measurement interval).

@@ -19,7 +19,10 @@
 //! machine's available parallelism.
 
 use crate::config::SystemConfig;
-use crate::experiment::{run_once, run_once_traced, RunResult, RunTrace};
+use crate::experiment::{
+    run_once, run_once_replayed, run_once_replayed_traced, run_once_traced, RunResult, RunTrace,
+    TraceSource,
+};
 use desim::phase::PhasePlan;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -96,24 +99,34 @@ where
 }
 
 /// One experiment point, fully specified: configuration (mode, seed,
-/// topology), traffic pattern, offered load and phase plan.
+/// topology), traffic pattern, offered load, phase plan and injection
+/// source (generated or replayed from a recorded trace).
 #[derive(Debug, Clone)]
 pub struct RunPoint {
     pub cfg: SystemConfig,
     pub pattern: TrafficPattern,
     pub load: f64,
     pub plan: PhasePlan,
+    /// Generated traffic by default; [`TraceSource::Replay`] substitutes a
+    /// recorded workload (then `pattern`/`load` are ignored).
+    pub source: TraceSource,
 }
 
 impl RunPoint {
     /// Executes this point on the calling thread.
     pub fn run(self) -> RunResult {
-        run_once(self.cfg, self.pattern, self.load, self.plan)
+        match self.source {
+            TraceSource::Generate => run_once(self.cfg, self.pattern, self.load, self.plan),
+            TraceSource::Replay(trace) => run_once_replayed(self.cfg, &trace, self.plan),
+        }
     }
 
     /// Executes this point on the calling thread, keeping its trace.
     pub fn run_traced(self) -> (RunResult, RunTrace) {
-        run_once_traced(self.cfg, self.pattern, self.load, self.plan)
+        match self.source {
+            TraceSource::Generate => run_once_traced(self.cfg, self.pattern, self.load, self.plan),
+            TraceSource::Replay(trace) => run_once_replayed_traced(self.cfg, &trace, self.plan),
+        }
     }
 }
 

@@ -16,13 +16,13 @@
 use crate::board::Board;
 use crate::config::{ControlPlane, NetworkMode, SystemConfig};
 use crate::faults::FaultKind;
-use crate::metrics::RunMetrics;
+use crate::metrics::{PacketDelivery, RunMetrics};
 use crate::srs::Srs;
 use desim::phase::{Phase, PhasePlan};
 use desim::Cycle;
 use erapid_telemetry::{
-    CounterId, FaultLabel, GaugeId, LsStageLabel, MetricRegistry, TraceEvent, TraceRecord,
-    TraceSink, Tracer, WindowLabel, WindowSnapshot,
+    CounterId, FaultLabel, GaugeId, HistId, HistogramSummary, LsStageLabel, MetricRegistry,
+    TraceEvent, TraceRecord, TraceSink, Tracer, WindowLabel, WindowSnapshot,
 };
 use photonics::wavelength::{BoardId, Wavelength};
 use reconfig::alloc::{FlowDemand, IncomingLink};
@@ -35,7 +35,7 @@ use router::flit::{NodeId, PacketId};
 use router::packet::Packet;
 use traffic::generator::NodeGenerator;
 use traffic::pattern::TrafficPattern;
-use traffic::trace::TraceReplayer;
+use traffic::trace::{TraceRecorder, TraceReplayer};
 
 /// A full simulated E-RAPID system.
 pub struct System {
@@ -45,6 +45,11 @@ pub struct System {
     generators: Vec<NodeGenerator>,
     /// When set, injection replays this trace instead of the generators.
     replay: Option<TraceReplayer>,
+    /// Records every injection for later replay (None unless
+    /// `cfg.record_injections` — zero cost when off).
+    injection_log: Option<TraceRecorder>,
+    /// Per-packet delivery rows (None unless `cfg.packet_log`).
+    packet_log: Option<Vec<PacketDelivery>>,
     next_packet_id: u64,
     now: Cycle,
     metrics: RunMetrics,
@@ -89,7 +94,17 @@ struct TelemetryIds {
     buffer_crossings: CounterId,
     router_peak: GaugeId,
     lasers_on: GaugeId,
+    latency_hist: HistId,
+    tx_wait_hist: HistId,
 }
+
+/// Histogram geometry for labelled-packet latency: 256 × 16-cycle bins
+/// cover 4096 cycles (two R_w windows) before overflow.
+const LATENCY_HIST_BINS: usize = 256;
+const LATENCY_HIST_WIDTH: f64 = 16.0;
+/// TX-queue waits are much shorter; 256 × 4-cycle bins.
+const TX_WAIT_HIST_BINS: usize = 256;
+const TX_WAIT_HIST_WIDTH: f64 = 4.0;
 
 fn build_registry() -> (MetricRegistry, TelemetryIds) {
     let mut reg = MetricRegistry::new();
@@ -101,6 +116,8 @@ fn build_registry() -> (MetricRegistry, TelemetryIds) {
         buffer_crossings: reg.counter("buffer_crossings"),
         router_peak: reg.gauge("router_peak_flits"),
         lasers_on: reg.gauge("lasers_on"),
+        latency_hist: reg.histogram("latency_cycles", LATENCY_HIST_BINS, LATENCY_HIST_WIDTH),
+        tx_wait_hist: reg.histogram("tx_wait_cycles", TX_WAIT_HIST_BINS, TX_WAIT_HIST_WIDTH),
     };
     (reg, ids)
 }
@@ -151,12 +168,16 @@ impl System {
         } else {
             Vec::new()
         };
+        let injection_log = cfg.record_injections.then(TraceRecorder::new);
+        let packet_log = cfg.packet_log.then(Vec::new);
         Self {
             cfg,
             boards,
             srs,
             generators,
             replay: None,
+            injection_log,
+            packet_log,
             next_packet_id: 0,
             now: 0,
             metrics,
@@ -581,52 +602,56 @@ impl System {
     }
 
     /// Node injection: Bernoulli sources fire into their NIs (or the
-    /// replayed trace's entries due this cycle).
+    /// replayed trace's entries due this cycle). Both branches funnel
+    /// through [`Self::inject_one`], so the injection log sees the exact
+    /// workload regardless of its source.
     fn inject(&mut self, now: Cycle) {
         let plan = self.metrics.plan;
         let labelled = plan.phase_at(now) == Phase::Measure;
-        if let Some(rep) = &mut self.replay {
-            for e in rep.due(now) {
-                let id = PacketId(self.next_packet_id);
-                self.next_packet_id += 1;
-                let packet = Packet {
-                    id,
-                    src: NodeId(e.src),
-                    dst: NodeId(e.dst),
-                    flits: self.cfg.packet_flits,
-                    injected_at: now,
-                    labelled,
-                };
-                if labelled {
-                    self.metrics.tracker.inject_labelled();
-                }
-                self.metrics.injected_total += 1;
-                let b = self.cfg.board_of(e.src);
-                let l = self.cfg.local_of(e.src);
-                self.boards[b as usize].enqueue_node_packet(l, packet);
+        if let Some(mut rep) = self.replay.take() {
+            while let Some(e) = rep.pop_due(now) {
+                self.inject_one(now, e.src, e.dst, labelled);
             }
+            self.replay = Some(rep);
             return;
         }
-        for g in &mut self.generators {
-            let Some(req) = g.poll(now) else { continue };
-            let id = PacketId(self.next_packet_id);
-            self.next_packet_id += 1;
-            let packet = Packet {
-                id,
-                src: NodeId(req.src),
-                dst: NodeId(req.dst),
-                flits: self.cfg.packet_flits,
-                injected_at: now,
-                labelled,
-            };
-            if labelled {
-                self.metrics.tracker.inject_labelled();
+        // Moving the Vec out and back costs three pointer words and frees
+        // `self` for the funnel call; no element is touched.
+        let mut gens = std::mem::take(&mut self.generators);
+        for g in &mut gens {
+            if let Some(req) = g.poll(now) {
+                self.inject_one(now, req.src, req.dst, labelled);
             }
-            self.metrics.injected_total += 1;
-            let b = self.cfg.board_of(req.src);
-            let l = self.cfg.local_of(req.src);
-            self.boards[b as usize].enqueue_node_packet(l, packet);
         }
+        self.generators = gens;
+    }
+
+    /// Injects one packet from `src` to `dst`, assigning the next
+    /// sequential id and recording into the injection log when enabled.
+    fn inject_one(&mut self, now: Cycle, src: u32, dst: u32, labelled: bool) {
+        if let Some(log) = &mut self.injection_log {
+            // `now` is monotone across calls, so recording cannot fail;
+            // a debug build still checks the invariant.
+            let recorded = log.record(now, src, dst);
+            debug_assert!(recorded.is_ok(), "injection log out of order");
+        }
+        let id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        let packet = Packet {
+            id,
+            src: NodeId(src),
+            dst: NodeId(dst),
+            flits: self.cfg.packet_flits,
+            injected_at: now,
+            labelled,
+        };
+        if labelled {
+            self.metrics.tracker.inject_labelled();
+        }
+        self.metrics.injected_total += 1;
+        let b = self.cfg.board_of(src);
+        let l = self.cfg.local_of(src);
+        self.boards[b as usize].enqueue_node_packet(l, packet);
     }
 
     fn step_boards(&mut self, now: Cycle) {
@@ -645,6 +670,18 @@ impl System {
                 if d.labelled {
                     self.metrics.tracker.deliver_labelled();
                     self.metrics.latency.record(d.injected_at, now);
+                    if let Some((reg, ids)) = &mut self.registry {
+                        reg.observe(ids.latency_hist, (now - d.injected_at) as f64);
+                    }
+                }
+                if let Some(log) = &mut self.packet_log {
+                    log.push(PacketDelivery {
+                        id: d.id.0,
+                        dst: d.dst,
+                        injected_at: d.injected_at,
+                        delivered_at: now,
+                        labelled: d.labelled,
+                    });
                 }
             }
         }
@@ -670,6 +707,9 @@ impl System {
                                 .src_path
                                 .push((pkt.completed_at - pkt.injected_at) as f64);
                             self.metrics.tx_wait.push((now - pkt.completed_at) as f64);
+                            if let Some((reg, ids)) = &mut self.registry {
+                                reg.observe(ids.tx_wait_hist, (now - pkt.completed_at) as f64);
+                            }
                         }
                     } else {
                         break;
@@ -889,6 +929,36 @@ impl System {
             Some((reg, _)) => reg.gauge_names().iter().map(|s| s.to_string()).collect(),
             None => Vec::new(),
         }
+    }
+
+    /// Histogram names registered by a traced run (empty when tracing is
+    /// off), in registration order.
+    pub fn metric_hist_names(&self) -> Vec<String> {
+        match &self.registry {
+            Some((reg, _)) => reg.hist_names().iter().map(|s| s.to_string()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Run-cumulative histogram digests (empty when tracing is off).
+    pub fn metric_hist_summaries(&self) -> Vec<HistogramSummary> {
+        match &self.registry {
+            Some((reg, _)) => reg.hist_summaries(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains the injection log recorded by this run (None unless
+    /// [`SystemConfig::record_injections`] enabled it). The caller attaches
+    /// provenance via [`TraceRecorder::into_trace`].
+    pub fn take_injection_log(&mut self) -> Option<TraceRecorder> {
+        self.injection_log.take()
+    }
+
+    /// Drains the per-packet delivery log (empty unless
+    /// [`SystemConfig::packet_log`] enabled it).
+    pub fn take_packet_log(&mut self) -> Vec<PacketDelivery> {
+        self.packet_log.take().unwrap_or_default()
     }
 
     /// True when no packet is anywhere in flight — boards idle *and* the
@@ -1189,7 +1259,7 @@ mod tests {
         for now in 0..horizon {
             for g in &mut gens {
                 if let Some(r) = g.poll(now) {
-                    rec.record(now, r.src, r.dst);
+                    rec.record(now, r.src, r.dst).unwrap();
                 }
             }
         }

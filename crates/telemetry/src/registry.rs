@@ -30,6 +30,24 @@ pub struct WindowSnapshot {
     pub gauges: Vec<f64>,
 }
 
+/// The distribution digest of one run-cumulative histogram, in the shape
+/// reports consume (plain data, cheap to clone across the runner).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Registered name.
+    pub name: String,
+    /// Samples recorded (excluding none; overflow samples count).
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Median (bin-interpolated).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
 /// A registry of named metrics rolled at window granularity.
 ///
 /// Registration order is fixed by the caller, so two runs that register the
@@ -118,6 +136,27 @@ impl MetricRegistry {
 
     pub fn gauge_names(&self) -> &[&'static str] {
         &self.gauge_names
+    }
+
+    pub fn hist_names(&self) -> &[&'static str] {
+        &self.hist_names
+    }
+
+    /// Digests every registered histogram into a [`HistogramSummary`], in
+    /// registration order (empty histograms report zero quantiles).
+    pub fn hist_summaries(&self) -> Vec<HistogramSummary> {
+        self.hist_names
+            .iter()
+            .zip(&self.hists)
+            .map(|(name, h)| HistogramSummary {
+                name: name.to_string(),
+                count: h.count(),
+                mean: h.mean(),
+                p50: h.p50().unwrap_or(0.0),
+                p95: h.p95().unwrap_or(0.0),
+                p99: h.p99().unwrap_or(0.0),
+            })
+            .collect()
     }
 
     pub fn windows(&self) -> &[WindowSnapshot] {

@@ -40,3 +40,4 @@ pub mod trace;
 pub use capacity::CapacityModel;
 pub use generator::NodeGenerator;
 pub use pattern::TrafficPattern;
+pub use trace::{InjectionTrace, TraceEntry, TraceError, TraceMeta, TraceRecorder, TraceReplayer};

@@ -52,4 +52,16 @@ else
     echo "tracereport smoke: $(wc -l < "$trace_dir/trace.jsonl") JSONL lines (structural check only)"
 fi
 
+echo "== replay smoke (record -> persist -> replay conformance) =="
+replay_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$replay_dir"' EXIT
+ERAPID_QUICK=1 ERAPID_RESULTS="$replay_dir" \
+    cargo run --release -q -p erapid-bench --bin replay > /dev/null
+report=$(ls "$replay_dir"/REPLAY_*.json 2> /dev/null | head -1)
+test -n "$report" && test -s "$report" || { echo "replay smoke: missing REPLAY_<sha>.json"; exit 1; }
+# The bin itself asserts self-replay byte-identity, seq==par reports and
+# an empty baseline self-diff; here we just confirm the artifacts landed.
+test -s "$replay_dir"/workload_*.ertr || { echo "replay smoke: missing workload .ertr"; exit 1; }
+echo "replay smoke: $(basename "$report") written"
+
 echo "verify: all checks passed"

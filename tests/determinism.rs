@@ -80,7 +80,7 @@ fn trace_record_replay_round_trip() {
     for now in 0..5000u64 {
         for g in &mut gens {
             if let Some(req) = g.poll(now) {
-                rec.record(now, req.src, req.dst);
+                rec.record(now, req.src, req.dst).unwrap();
             }
         }
     }
@@ -170,6 +170,7 @@ fn parallel_sweep_identical_to_sequential_under_faults() {
     // The run-level executor must stay invisible when the points carry an
     // active fault schedule: 1-thread and 4-thread sweeps of faulted
     // configs return identical RunResults in identical order.
+    use erapid_suite::erapid_core::experiment::TraceSource;
     use erapid_suite::erapid_core::faults::FaultPlan;
     use erapid_suite::erapid_core::runner::{run_points, RunPoint};
     use std::num::NonZeroUsize;
@@ -186,6 +187,7 @@ fn parallel_sweep_identical_to_sequential_under_faults() {
                     pattern: TrafficPattern::Complement,
                     load,
                     plan: plan(),
+                    source: TraceSource::Generate,
                 }
             })
             .collect()

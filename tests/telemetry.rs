@@ -5,7 +5,7 @@
 
 use erapid_suite::desim::phase::PhasePlan;
 use erapid_suite::erapid_core::config::{ControlPlane, NetworkMode, SystemConfig};
-use erapid_suite::erapid_core::experiment::{run_once, run_once_traced};
+use erapid_suite::erapid_core::experiment::{run_once, run_once_traced, TraceSource};
 use erapid_suite::erapid_core::faults::{FaultKind, FaultPlan};
 use erapid_suite::erapid_core::runner::{run_points_traced, RunPoint};
 use erapid_suite::erapid_telemetry::{chrome_trace, jsonl, TraceConfig};
@@ -42,6 +42,7 @@ fn traced_point(mode: NetworkMode, control: ControlPlane, load: f64) -> RunPoint
         pattern: TrafficPattern::Complement,
         load,
         plan: plan(),
+        source: TraceSource::Generate,
     }
 }
 
@@ -105,6 +106,36 @@ fn trace_off_returns_empty_trace_and_same_result() {
     assert!(trace.windows.is_empty());
     assert_eq!(trace.dropped, 0);
     assert!(trace.counter_names.is_empty());
+    assert!(trace.hist_summaries.is_empty());
+}
+
+#[test]
+fn latency_and_tx_wait_histograms_are_registered_and_populated() {
+    let p = traced_point(NetworkMode::PB, ControlPlane::AnalyticLatency, 0.5);
+    let (r, trace) = run_once_traced(p.cfg, p.pattern, p.load, p.plan);
+    let names: Vec<&str> = trace
+        .hist_summaries
+        .iter()
+        .map(|h| h.name.as_str())
+        .collect();
+    assert_eq!(
+        names,
+        ["latency_cycles", "tx_wait_cycles"],
+        "histograms must register in a fixed order"
+    );
+    for h in &trace.hist_summaries {
+        assert!(h.count > 0, "{}: empty histogram", h.name);
+        assert!(h.p50 <= h.p95 && h.p95 <= h.p99, "{}: quantiles", h.name);
+    }
+    // The latency histogram digests the same population the headline mean
+    // summarises: its mean lands within a bin width of the exact mean.
+    let lat = &trace.hist_summaries[0];
+    assert!(
+        (lat.mean - r.latency).abs() < 16.0,
+        "histogram mean {} vs exact mean {}",
+        lat.mean,
+        r.latency
+    );
 }
 
 #[test]
