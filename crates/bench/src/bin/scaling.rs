@@ -4,22 +4,33 @@
 //! this paper provides complete flexibility to re-allocate all system
 //! bandwidth").
 //!
-//! Sweeps B ∈ {4, 8, 16} boards (D = 8 nodes each), complement traffic
+//! Sweeps B ∈ {4, 8, 16, 32} boards (D = 8 nodes each), complement traffic
 //! (DBR's best case) and uniform (its no-op case), comparing NP-NB and
 //! P-B, and reporting the five-stage protocol latency as a fraction of
-//! `R_w`. All 12 runs fan out over the worker pool (`ERAPID_THREADS`).
+//! `R_w`. All 16 runs fan out over the worker pool (`ERAPID_THREADS`).
+//!
+//! Besides the table, the run writes `SCALING_<git-sha>.json` with per-B
+//! wall times, a per-phase breakdown (one profiled P-B complement run per
+//! B) and memory figures (analytic per-system footprint + process peak
+//! RSS), so the O(B²) state and O(B³) channel-bank growth is tracked
+//! across commits.
 //!
 //! ```text
 //! cargo run --release -p erapid-bench --bin scaling
 //! ```
 
-use erapid_bench::BenchConfig;
+use erapid_bench::{git_sha, BenchConfig};
 use erapid_core::config::{NetworkMode, SystemConfig};
 use erapid_core::experiment::{default_plan, TraceSource};
-use erapid_core::runner::{run_points, RunPoint};
+use erapid_core::runner::{run_points_timed, RunPoint};
+use erapid_core::system::PhaseTimers;
+use erapid_core::System;
 use netstats::table::Table;
 use reconfig::stages::ProtocolTiming;
 use traffic::pattern::TrafficPattern;
+
+const BOARDS: [u16; 4] = [4, 8, 16, 32];
+const LOAD: f64 = 0.6;
 
 fn config(boards: u16, mode: NetworkMode) -> SystemConfig {
     let mut cfg = SystemConfig::paper64(mode);
@@ -45,14 +56,52 @@ fn point(boards: u16, mode: NetworkMode, pattern: &TrafficPattern, load: f64) ->
     }
 }
 
+/// Peak resident set size in kB (`VmHWM` from /proc, Linux only; 0
+/// elsewhere).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Per-B profile: one P-B complement run stepped with phase timers, plus
+/// the system's analytic memory footprint.
+struct BoardProfile {
+    boards: u16,
+    cycles: u64,
+    timers: PhaseTimers,
+    memory_bytes: usize,
+}
+
+fn profile(boards: u16) -> BoardProfile {
+    let cfg = config(boards, NetworkMode::PB);
+    let plan = default_plan(cfg.schedule.window);
+    let mut sys = System::new(cfg, TrafficPattern::Complement, LOAD, plan);
+    let memory_bytes = sys.approx_memory_bytes();
+    let mut timers = PhaseTimers::default();
+    let cycles = sys.run_profiled(&mut timers);
+    BoardProfile {
+        boards,
+        cycles,
+        timers,
+        memory_bytes,
+    }
+}
+
 fn main() {
     let bench = BenchConfig::from_env();
-    let load = 0.6;
-    println!("=== scaling with board count (D = 8, load {load}) ===\n");
+    let sha = git_sha();
+    println!("=== scaling with board count (D = 8, load {LOAD}) @ {sha} ===\n");
 
     // One (NP-NB, P-B) pair per (boards, pattern) row, flattened in row
     // order so the parallel results zip straight back onto the table.
-    let grid: Vec<(u16, TrafficPattern)> = [4u16, 8, 16]
+    let grid: Vec<(u16, TrafficPattern)> = BOARDS
         .iter()
         .flat_map(|&b| {
             [TrafficPattern::Complement, TrafficPattern::Uniform]
@@ -65,10 +114,10 @@ fn main() {
         .flat_map(|(boards, pattern)| {
             [NetworkMode::NpNb, NetworkMode::PB]
                 .into_iter()
-                .map(|mode| point(*boards, mode, pattern, load))
+                .map(|mode| point(*boards, mode, pattern, LOAD))
         })
         .collect();
-    let results = run_points(bench.threads, points);
+    let timed = run_points_timed(bench.threads, points);
 
     let mut t = Table::new(vec![
         "boards",
@@ -82,11 +131,12 @@ fn main() {
         "grants",
         "dbr latency",
         "of R_w",
+        "wall",
     ])
     .with_title("complement gains grow with the wavelengths available to borrow");
     for (i, (boards, pattern)) in grid.iter().enumerate() {
-        let base = &results[2 * i];
-        let pb = &results[2 * i + 1];
+        let (base, base_wall) = &timed[2 * i];
+        let (pb, pb_wall) = &timed[2 * i + 1];
         let timing = config(*boards, NetworkMode::PB).timing;
         t.row(vec![
             format!("{boards}"),
@@ -100,6 +150,7 @@ fn main() {
             format!("{}", pb.grants),
             format!("{} cyc", timing.dbr_latency()),
             format!("{:.1}%", timing.dbr_latency() as f64 / 2000.0 * 100.0),
+            format!("{:.2}s", base_wall.as_secs_f64() + pb_wall.as_secs_f64()),
         ]);
     }
     println!("{}", t.render());
@@ -111,4 +162,73 @@ fn main() {
     println!("wavelengths funnel into one board's IBI). The control-plane");
     println!("cost grows linearly in B but stays a few percent of the fixed");
     println!("2000-cycle window. Uniform stays a no-op at every scale.");
+
+    println!("\nper-B phase profile (P-B complement, one run each):");
+    let profiles: Vec<BoardProfile> = BOARDS.iter().map(|&b| profile(b)).collect();
+    for p in &profiles {
+        let total = p.timers.total().as_secs_f64().max(1e-9);
+        let pct = |d: std::time::Duration| 100.0 * d.as_secs_f64() / total;
+        println!(
+            "  B={:<3} {:>8} cycles  {:>7.2}s  mem ~{:>6.1} MiB  \
+             reconfig {:>4.1}%  inject {:>4.1}%  route {:>4.1}%  optical {:>4.1}%  stats {:>4.1}%",
+            p.boards,
+            p.cycles,
+            total,
+            p.memory_bytes as f64 / (1024.0 * 1024.0),
+            pct(p.timers.reconfig),
+            pct(p.timers.inject),
+            pct(p.timers.route),
+            pct(p.timers.optical),
+            pct(p.timers.stats),
+        );
+    }
+    let rss = peak_rss_kb();
+    println!("  peak RSS: {rss} kB");
+
+    let row_json: Vec<String> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, (boards, pattern))| {
+            let (base, base_wall) = &timed[2 * i];
+            let (pb, pb_wall) = &timed[2 * i + 1];
+            format!(
+                "    {{\"boards\": {boards}, \"pattern\": \"{}\", \"npnb_throughput\": {:.6}, \"pb_throughput\": {:.6}, \"npnb_power_mw\": {:.3}, \"pb_power_mw\": {:.3}, \"pb_grants\": {}, \"npnb_wall_s\": {:.6}, \"pb_wall_s\": {:.6}}}",
+                pattern.name(),
+                base.throughput,
+                pb.throughput,
+                base.power_mw,
+                pb.power_mw,
+                pb.grants,
+                base_wall.as_secs_f64(),
+                pb_wall.as_secs_f64(),
+            )
+        })
+        .collect();
+    let profile_json: Vec<String> = profiles
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"boards\": {}, \"cycles\": {}, \"memory_bytes\": {}, \"reconfig_s\": {:.6}, \"inject_s\": {:.6}, \"route_s\": {:.6}, \"optical_s\": {:.6}, \"stats_s\": {:.6}}}",
+                p.boards,
+                p.cycles,
+                p.memory_bytes,
+                p.timers.reconfig.as_secs_f64(),
+                p.timers.inject.as_secs_f64(),
+                p.timers.route.as_secs_f64(),
+                p.timers.optical.as_secs_f64(),
+                p.timers.stats.as_secs_f64(),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"git_sha\": \"{sha}\",\n  \"threads\": {threads},\n  \"workload\": {{\"nodes_per_board\": 8, \"boards\": [4, 8, 16, 32], \"load\": {LOAD}, \"patterns\": [\"complement\", \"uniform\"], \"modes\": [\"NP-NB\", \"P-B\"]}},\n  \"rows\": [\n{rows}\n  ],\n  \"phase_profiles\": [\n{profs}\n  ],\n  \"peak_rss_kb\": {rss}\n}}\n",
+        threads = bench.threads,
+        rows = row_json.join(",\n"),
+        profs = profile_json.join(",\n"),
+    );
+    let path = format!("SCALING_{sha}.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
 }

@@ -19,7 +19,7 @@ use crate::config::SystemConfig;
 use crate::inject::FlitInjector;
 use crate::txqueue::{ReadyPacket, TransmitQueue};
 use desim::Cycle;
-use netstats::windowed::WindowedUtilization;
+use netstats::occupancy::OccupancyIntegral;
 use router::flit::NodeId;
 use router::packet::Packet;
 use router::routing::{PortId, TableRoute};
@@ -48,8 +48,18 @@ pub struct Board {
     rx_inj: Vec<FlitInjector>,
     /// One TX queue per destination board (`tx[self]` unused).
     tx: Vec<TransmitQueue>,
-    /// `Buffer_util` counters, one per destination board.
-    buffer_util: Vec<WindowedUtilization>,
+    /// `Buffer_util` counters, one per destination board — event-driven
+    /// flit-cycle integrals, updated on enqueue/dequeue instead of
+    /// re-sampled every cycle (bit-identical; see `OccupancyIntegral`).
+    buffer_util: Vec<OccupancyIntegral>,
+    /// Packets inside the electrical domain (NI backlogs, mid-injection,
+    /// or with flits still in the router). Zero means stepping the board
+    /// is a provable no-op, so the system skips it entirely.
+    inflight: u32,
+    /// Destinations whose TX queue holds at least one *ready* packet,
+    /// ascending — the active set the optical transmit stage walks in the
+    /// same order the full `0..B` scan used to.
+    tx_ready: Vec<u16>,
     /// Node-sink credits owed back next cycle: (port, vc).
     node_credits: Vec<(PortId, u8)>,
     /// Reusable per-cycle traversal buffer (cleared each step, never
@@ -104,8 +114,10 @@ impl Board {
                 .map(|_| TransmitQueue::new(per_vc * cfg.vcs as u32))
                 .collect(),
             buffer_util: (0..b)
-                .map(|_| WindowedUtilization::new(cfg.schedule.window))
+                .map(|_| OccupancyIntegral::new(cfg.schedule.window, per_vc * cfg.vcs as u32))
                 .collect(),
+            inflight: 0,
+            tx_ready: Vec::new(),
             node_credits: Vec::new(),
             traversal_scratch: Vec::new(),
         }
@@ -129,6 +141,7 @@ impl Board {
 
     /// Queues a freshly generated packet at a node NI.
     pub fn enqueue_node_packet(&mut self, local_node: u16, packet: Packet) {
+        self.inflight += 1;
         self.node_inj[local_node as usize].enqueue(packet);
     }
 
@@ -143,6 +156,7 @@ impl Board {
             injected_at: pkt.injected_at,
             labelled: pkt.labelled,
         };
+        self.inflight += 1;
         self.rx_inj[wavelength as usize].enqueue(packet);
     }
 
@@ -163,8 +177,14 @@ impl Board {
 
     /// Pops the next ready packet toward `dest`, returning its router
     /// credits (one per flit, to the VC its flits occupied).
-    pub fn tx_depart(&mut self, dest: u16) -> Option<ReadyPacket> {
+    pub fn tx_depart(&mut self, now: Cycle, dest: u16) -> Option<ReadyPacket> {
         let pkt = self.tx[dest as usize].depart()?;
+        self.buffer_util[dest as usize].dequeue(now, pkt.flits as u32);
+        if self.tx[dest as usize].ready_len() == 0 {
+            if let Ok(i) = self.tx_ready.binary_search(&dest) {
+                self.tx_ready.remove(i);
+            }
+        }
         let port = PortId(self.d + dest);
         for _ in 0..pkt.flits {
             self.router.credit(port, pkt.vc);
@@ -172,16 +192,47 @@ impl Board {
         Some(pkt)
     }
 
+    /// Destinations with at least one ready packet, ascending.
+    pub fn ready_dests(&self) -> &[u16] {
+        &self.tx_ready
+    }
+
     /// Previous-window `Buffer_util` toward `dest`.
     pub fn buffer_util(&self, dest: u16) -> f64 {
         self.buffer_util[dest as usize].previous()
     }
 
-    /// Rolls the board's `Buffer_util` windows.
-    pub fn roll_windows(&mut self) {
+    /// Whether the last completed `Buffer_util` window toward `dest` saw
+    /// any queue activity (threshold-watch dirty bit).
+    pub fn buffer_util_touched(&self, dest: u16) -> bool {
+        self.buffer_util[dest as usize].last_touched()
+    }
+
+    /// Whether the last completed `Buffer_util` window toward `dest` sat
+    /// at one flat level (threshold-watch park condition).
+    pub fn buffer_util_steady(&self, dest: u16) -> bool {
+        self.buffer_util[dest as usize].last_steady()
+    }
+
+    /// Rolls the board's `Buffer_util` windows at the boundary `now`.
+    pub fn roll_windows(&mut self, now: Cycle) {
         for u in &mut self.buffer_util {
-            u.roll();
+            u.roll(now);
         }
+    }
+
+    /// Coarse heap-footprint estimate in bytes: the router plus the
+    /// per-destination TX/occupancy state (analytic capacity ×
+    /// element-size sums — see [`router::Router::approx_memory_bytes`]).
+    pub fn approx_memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.router.approx_memory_bytes()
+            + std::mem::size_of_val(self.node_inj.as_slice())
+            + std::mem::size_of_val(self.rx_inj.as_slice())
+            + std::mem::size_of_val(self.tx.as_slice())
+            + std::mem::size_of_val(self.buffer_util.as_slice())
+            + self.tx_ready.capacity() * size_of::<u16>()
     }
 
     /// Whether the board is completely idle (no queued or in-flight flits).
@@ -207,14 +258,22 @@ impl Board {
 
     /// Advances the board one cycle: injectors feed the router, the router
     /// steps, traversals land in node sinks (appended to `delivered` —
-    /// which is *not* cleared, the caller owns it) or TX queues. Also
-    /// samples `Buffer_util`.
+    /// which is *not* cleared, the caller owns it) or TX queues, which
+    /// maintain `Buffer_util` incrementally.
     ///
     /// The traversal list is accumulated into a persistent scratch buffer,
     /// so a steady-state cycle performs no heap allocation.
     pub fn step_into(&mut self, now: Cycle, delivered: &mut Vec<Delivered>) {
-        for (port, vc) in self.node_credits.drain(..) {
-            self.router.credit(port, vc);
+        if !self.node_credits.is_empty() {
+            for (port, vc) in self.node_credits.drain(..) {
+                self.router.credit(port, vc);
+            }
+        }
+        // Idle board: injectors have nothing (their tick is a pure no-op)
+        // and the router holds no flits (its step is an early-out that
+        // touches no arbitration state), so the whole cycle is skipped.
+        if self.inflight == 0 {
+            return;
         }
         for inj in &mut self.node_inj {
             inj.tick(&mut self.router);
@@ -232,6 +291,7 @@ impl Board {
             if out < self.d {
                 self.node_credits.push((t.out_port, t.out_vc));
                 if t.flit.kind.is_tail() {
+                    self.inflight -= 1;
                     delivered.push(Delivered {
                         id: t.flit.packet,
                         dst: t.flit.dst.0,
@@ -242,13 +302,20 @@ impl Board {
             } else {
                 let dest = out - self.d;
                 debug_assert_ne!(dest, self.id, "self-directed remote flit");
-                self.tx[dest as usize].accept(t.flit, self.packet_flits, t.out_vc, now);
+                self.buffer_util[dest as usize].enqueue(now, 1);
+                let completed =
+                    self.tx[dest as usize].accept(t.flit, self.packet_flits, t.out_vc, now);
+                if t.flit.kind.is_tail() {
+                    self.inflight -= 1;
+                }
+                if completed && self.tx[dest as usize].ready_len() == 1 {
+                    if let Err(i) = self.tx_ready.binary_search(&dest) {
+                        self.tx_ready.insert(i, dest);
+                    }
+                }
             }
         }
         self.traversal_scratch = traversals;
-        for (dest, q) in self.tx.iter().enumerate() {
-            self.buffer_util[dest].record(q.occupancy());
-        }
     }
 }
 
@@ -301,7 +368,7 @@ mod tests {
         }
         assert_eq!(b.tx_queue(3).ready_len(), 1);
         assert_eq!(b.tx_queue(1).ready_len(), 0);
-        let pkt = b.tx_depart(3).unwrap();
+        let pkt = b.tx_depart(100, 3).unwrap();
         assert_eq!(pkt.dst, 12);
         assert_eq!(pkt.src, 0);
         assert_eq!(pkt.flits, cfg.packet_flits);
@@ -346,7 +413,7 @@ mod tests {
         let mut departed = 0;
         for now in 0..4000 {
             b.step(now);
-            while b.tx_depart(1).is_some() {
+            while b.tx_depart(now, 1).is_some() {
                 departed += 1;
             }
         }
@@ -362,7 +429,7 @@ mod tests {
         for now in 0..cfg.schedule.window {
             b.step(now);
         }
-        b.roll_windows();
+        b.roll_windows(cfg.schedule.window);
         // The packet sits in tx[1] for most of the window: util > 0.
         assert!(b.buffer_util(1) > 0.0);
         assert_eq!(b.buffer_util(2), 0.0);

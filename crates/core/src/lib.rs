@@ -1,4 +1,5 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::perf)]
 //! # erapid-core — the E-RAPID system model
 //!
 //! This crate is the paper's primary contribution assembled from the
@@ -87,5 +88,8 @@ pub use experiment::{
 };
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::PacketDelivery;
-pub use runner::{parallel_map, run_points, run_points_traced, RunPoint};
-pub use system::System;
+pub use runner::{
+    parallel_map, parallel_map_prioritized, run_points, run_points_timed, run_points_traced,
+    RunPoint,
+};
+pub use system::{PhaseTimers, System};

@@ -59,21 +59,55 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    // A zero-cost estimator keeps the stable sort in input order, so this
+    // is exactly the unprioritized dispatch.
+    parallel_map_prioritized(threads, items, |_| 0, f)
+}
+
+/// Claim order for prioritized dispatch: indices sorted by descending
+/// cost, ties keeping input order (stable sort).
+fn priority_order(costs: &[u128]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| costs[b].cmp(&costs[a]));
+    order
+}
+
+/// As [`parallel_map`], but workers claim items **longest-estimated
+/// first** (stable descending sort by `cost`; ties keep input order).
+/// Results still land in input order, so prioritization changes only
+/// wall-clock, never output. This fixes the tail-straggler imbalance of
+/// FIFO dispatch: when the most expensive point sits late in the grid, a
+/// worker would otherwise pick it up last and run it alone while the
+/// rest of the pool idles.
+pub fn parallel_map_prioritized<T, R, F, C>(
+    threads: NonZeroUsize,
+    items: Vec<T>,
+    cost: C,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+    C: Fn(&T) -> u128,
+{
     let n = items.len();
     let workers = threads.get().min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
+    let order = priority_order(&items.iter().map(&cost).collect::<Vec<_>>());
     let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
                     break;
                 }
+                let i = order[k];
                 // Lock poisoning only means another worker panicked while
                 // holding the lock; the data (a plain Option) is still
                 // sound, so recover it rather than aborting this worker.
@@ -113,6 +147,14 @@ pub struct RunPoint {
 }
 
 impl RunPoint {
+    /// Estimated simulation cost, for longest-first dispatch: every cycle
+    /// walks O(boards²) flow state, so `max_cycles × boards²` ranks a
+    /// heterogeneous grid well enough to keep workers busy. Wall-time
+    /// feedback from [`run_points_timed`] is the check on this estimate.
+    pub fn estimated_cost(&self) -> u128 {
+        self.plan.max_cycles as u128 * (self.cfg.boards as u128).pow(2)
+    }
+
     /// Executes this point on the calling thread.
     pub fn run(self) -> RunResult {
         match self.source {
@@ -134,7 +176,22 @@ impl RunPoint {
 /// come back in input order and are byte-identical to running each point
 /// sequentially.
 pub fn run_points(threads: NonZeroUsize, points: Vec<RunPoint>) -> Vec<RunResult> {
-    parallel_map(threads, points, RunPoint::run)
+    parallel_map_prioritized(threads, points, RunPoint::estimated_cost, RunPoint::run)
+}
+
+/// As [`run_points`], additionally reporting each point's wall time — the
+/// feedback loop on [`RunPoint::estimated_cost`]: binaries log the pairs
+/// so a drifting estimator is visible in the perf artifacts rather than
+/// silently degrading the schedule.
+pub fn run_points_timed(
+    threads: NonZeroUsize,
+    points: Vec<RunPoint>,
+) -> Vec<(RunResult, std::time::Duration)> {
+    parallel_map_prioritized(threads, points, RunPoint::estimated_cost, |p: RunPoint| {
+        let start = std::time::Instant::now();
+        let r = p.run();
+        (r, start.elapsed())
+    })
 }
 
 /// Traced variant of [`run_points`]. Each worker records into its own
@@ -145,7 +202,12 @@ pub fn run_points_traced(
     threads: NonZeroUsize,
     points: Vec<RunPoint>,
 ) -> Vec<(RunResult, RunTrace)> {
-    parallel_map(threads, points, RunPoint::run_traced)
+    parallel_map_prioritized(
+        threads,
+        points,
+        RunPoint::estimated_cost,
+        RunPoint::run_traced,
+    )
 }
 
 #[cfg(test)]
@@ -190,5 +252,52 @@ mod tests {
     fn threads_env_parsing_defaults() {
         // Does not touch the environment: just the default path.
         assert!(available_threads().get() >= 1);
+    }
+
+    #[test]
+    fn prioritized_map_preserves_input_order_and_results() {
+        // Costs deliberately reversed vs input order: dispatch reorders,
+        // results must not.
+        let items: Vec<u64> = (0..50).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x + 1000).collect();
+        for threads in [1, 3, 8] {
+            let got = parallel_map_prioritized(
+                NonZeroUsize::new(threads).unwrap(),
+                items.clone(),
+                |&x| x as u128, // largest item first
+                |x| x + 1000,
+            );
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn priority_order_is_longest_first_and_stable() {
+        assert_eq!(priority_order(&[1, 9, 9, 4]), vec![1, 2, 3, 0]);
+        assert_eq!(
+            priority_order(&[0, 0, 0]),
+            vec![0, 1, 2],
+            "all ties: input order"
+        );
+        assert_eq!(priority_order(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn estimated_cost_scales_with_boards_and_cycles() {
+        let mk = |boards: u16, cycles: u64| RunPoint {
+            cfg: SystemConfig {
+                boards,
+                ..SystemConfig::small(crate::config::NetworkMode::NpNb)
+            },
+            pattern: TrafficPattern::Uniform,
+            load: 0.5,
+            plan: PhasePlan::new(100, 200).with_max_cycles(cycles),
+            source: TraceSource::Generate,
+        };
+        let small = mk(4, 10_000).estimated_cost();
+        let wide = mk(8, 10_000).estimated_cost();
+        let long = mk(4, 40_000).estimated_cost();
+        assert_eq!(wide, small * 4, "boards² scaling");
+        assert_eq!(long, small * 4, "linear cycle scaling");
     }
 }

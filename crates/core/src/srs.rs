@@ -11,7 +11,6 @@ use crate::txqueue::ReadyPacket;
 use desim::queue::{BinaryHeapQueue, EventQueue};
 use desim::Cycle;
 use erapid_telemetry::{NullSink, TraceEvent, TraceSink};
-use netstats::windowed::WindowedUtilization;
 use photonics::bitrate::{RateLadder, RateLevel};
 use photonics::channel::{ChannelState, OpticalChannel};
 use photonics::power::LinkPowerModel;
@@ -46,10 +45,43 @@ pub struct Srs {
     wavelengths: u16,
     /// `owner[d][w]` — board allowed to light `w` toward `d`.
     owner: Vec<Vec<Option<u16>>>,
+    /// Sorted wavelengths owned per `(s·B + d)` flow — the mirror of
+    /// `owner` that lets `try_transmit` scan only lit wavelengths.
+    /// Maintained exclusively through [`Srs::set_owner`]; ascending order
+    /// reproduces the legacy full `0..W` scan exactly.
+    owned: Vec<Vec<u16>>,
     /// Dense channel bank indexed by `(s·B + d)·W + w`.
     channels: Vec<OpticalChannel>,
-    /// Per-channel link-utilization counters (`Link_util`).
-    link_util: Vec<WindowedUtilization>,
+    /// Window length (`R_w`) for the link-utilization spans.
+    window: Cycle,
+    /// Per-channel `Link_util` of the last completed window (what the LS
+    /// protocol reads). Busy time is integrated from serialization spans
+    /// instead of per-cycle sampling; the division at the roll reproduces
+    /// the eager `Σ 1.0 / window` bits exactly (integer-valued f64 sum).
+    link_prev: Vec<f64>,
+    /// Busy cycles accumulated in the running window (closed spans).
+    win_busy: Vec<Cycle>,
+    /// Open serialization span per channel: `busy_open` guards
+    /// `busy_start` (first unaccounted busy cycle) and `busy_cap`
+    /// (serialization end, exclusive).
+    busy_open: Vec<bool>,
+    busy_start: Vec<Cycle>,
+    busy_cap: Vec<Cycle>,
+    /// Serialization-end wake queue: channel indices keyed by their
+    /// `Sending` `until`, so `tick` settles only channels whose packet
+    /// actually ended instead of scanning the whole bank.
+    wake: BinaryHeapQueue<usize>,
+    /// Sorted channel indices with a pending retune/relock — the only
+    /// slots `tick` visits. Ascending index order is the legacy full-scan
+    /// order, so trace-event order is preserved. Stale entries (slot
+    /// cleared by a fault/grant) are dropped on the next sweep.
+    retune_queue: Vec<usize>,
+    relock_queue: Vec<usize>,
+    /// Total laser power changes only on state/level/ownership edges;
+    /// between edges `record_cycle` returns this cached sum (recomputed
+    /// in the legacy `(d asc, w asc)` order, so the bits match).
+    power_dirty: bool,
+    power_cache: f64,
     arrivals: BinaryHeapQueue<Arrival>,
     pending_grants: Vec<PendingGrant>,
     /// Per-channel pending DPM retune: `(target level, penalty)`.
@@ -92,8 +124,8 @@ impl Srs {
         let w_count = boards;
         let rwa = StaticRwa::new(boards);
         let owner = vec![vec![None; w_count as usize]; boards as usize];
-        let mut channels = Vec::with_capacity((boards as usize).pow(2) * w_count as usize);
-        let mut link_util = Vec::with_capacity(channels.capacity());
+        let n = (boards as usize).pow(2) * w_count as usize;
+        let mut channels = Vec::with_capacity(n);
         for s in 0..boards {
             for d in 0..boards {
                 for w in 0..w_count {
@@ -105,7 +137,6 @@ impl Srs {
                         serdes,
                         fiber_delay,
                     ));
-                    link_util.push(WindowedUtilization::new(window));
                 }
             }
         }
@@ -113,19 +144,30 @@ impl Srs {
             boards,
             wavelengths: w_count,
             owner,
+            owned: vec![Vec::new(); (boards as usize).pow(2)],
             channels,
-            link_util,
+            window,
+            link_prev: vec![0.0; n],
+            win_busy: vec![0; n],
+            busy_open: vec![false; n],
+            busy_start: vec![0; n],
+            busy_cap: vec![0; n],
+            wake: BinaryHeapQueue::with_capacity(boards as usize * w_count as usize),
+            retune_queue: Vec::new(),
+            relock_queue: Vec::new(),
+            power_dirty: true,
+            power_cache: 0.0,
             // At most one packet is in flight per (source, wavelength), so
             // this pre-sizing makes arrival pushes allocation-free.
             arrivals: BinaryHeapQueue::with_capacity(boards as usize * w_count as usize),
             pending_grants: Vec::new(),
-            pending_retune: vec![None; (boards as usize).pow(2) * w_count as usize],
+            pending_retune: vec![None; n],
             power_model,
             lock_penalty,
             failed: Vec::new(),
             failed_tx: Vec::new(),
-            stuck_lc: vec![false; (boards as usize).pow(2) * w_count as usize],
-            pending_relock: vec![None; (boards as usize).pow(2) * w_count as usize],
+            stuck_lc: vec![false; n],
+            pending_relock: vec![None; n],
             rwa,
             grants_applied: 0,
             retunes_applied: 0,
@@ -135,7 +177,7 @@ impl Srs {
         for d in 0..boards {
             for w in 1..w_count {
                 let s = srs.rwa.static_owner(BoardId(d), Wavelength(w));
-                srs.owner[d as usize][w as usize] = Some(s.0);
+                srs.set_owner(0, d, w, Some(s.0));
                 srs.channel_mut(s.0, d, w).power_on();
             }
         }
@@ -156,6 +198,60 @@ impl Srs {
         (s as u16, d as u16, w as u16)
     }
 
+    fn flow(&self, s: u16, d: u16) -> usize {
+        s as usize * self.boards as usize + d as usize
+    }
+
+    /// Closes the open busy span on channel `i` at `at` (clamped to the
+    /// serialization end), folding its cycles into the running window.
+    /// A span closed at its own start cycle contributes nothing — exactly
+    /// the eager sampler, which never saw the channel busy.
+    fn close_busy(&mut self, i: usize, at: Cycle) {
+        if !self.busy_open[i] {
+            return;
+        }
+        let end = self.busy_cap[i].min(at);
+        if end > self.busy_start[i] {
+            self.win_busy[i] += end - self.busy_start[i];
+        }
+        self.busy_open[i] = false;
+    }
+
+    /// The single mutation point for the ownership map: updates `owner`,
+    /// the per-flow sorted `owned` mirror, closes the de-owned channel's
+    /// busy span at `now` (the eager per-cycle sampler stopped counting a
+    /// channel the moment its owner changed), and invalidates the power
+    /// cache.
+    fn set_owner(&mut self, now: Cycle, d: u16, w: u16, new: Option<u16>) {
+        let old = self.owner[d as usize][w as usize];
+        if old == new {
+            return;
+        }
+        if let Some(s) = old {
+            let f = self.flow(s, d);
+            if let Ok(p) = self.owned[f].binary_search(&w) {
+                self.owned[f].remove(p);
+            }
+            let i = self.idx(s, d, w);
+            self.close_busy(i, now);
+        }
+        if let Some(s) = new {
+            let f = self.flow(s, d);
+            if let Err(p) = self.owned[f].binary_search(&w) {
+                self.owned[f].insert(p, w);
+            }
+        }
+        self.owner[d as usize][w as usize] = new;
+        self.power_dirty = true;
+    }
+
+    /// Inserts `i` into a sorted pending-work queue (no duplicates).
+    fn queue_push(queue: &mut Vec<usize>, i: usize) {
+        if let Err(p) = queue.binary_search(&i) {
+            queue.insert(p, i);
+        }
+    }
+
     /// The channel for `(source, destination, wavelength)`.
     pub fn channel(&self, s: u16, d: u16, w: u16) -> &OpticalChannel {
         &self.channels[self.idx(s, d, w)]
@@ -171,11 +267,10 @@ impl Srs {
         self.owner[d as usize][w as usize]
     }
 
-    /// Wavelengths board `s` currently owns toward destination `d`.
+    /// Wavelengths board `s` currently owns toward destination `d`
+    /// (ascending — the maintained mirror of the ownership map).
     pub fn owned_wavelengths(&self, s: u16, d: u16) -> Vec<u16> {
-        (0..self.wavelengths)
-            .filter(|&w| self.owner[d as usize][w as usize] == Some(s))
-            .collect()
+        self.owned[self.flow(s, d)].clone()
     }
 
     /// Lifetime `(grants, retunes)` applied.
@@ -225,9 +320,11 @@ impl Srs {
                 );
             }
         }
-        if let Some(s) = self.owner[d as usize][w as usize].take() {
+        if let Some(s) = self.owner[d as usize][w as usize] {
+            self.set_owner(now, d, w, None);
             let i = self.idx(s, d, w);
             self.pending_retune[i] = None;
+            self.power_dirty = true;
             let c = &mut self.channels[i];
             c.settle(now);
             if c.is_on() && c.can_send(now) {
@@ -270,7 +367,7 @@ impl Srs {
         };
         self.failed.swap_remove(pos);
         let s = self.rwa.static_owner(BoardId(d), Wavelength(w)).0;
-        self.owner[d as usize][w as usize] = Some(s);
+        self.set_owner(now, d, w, Some(s));
         // A shutdown still draining from the failure becomes a re-light:
         // once the old laser darkens, the static owner comes back up (with
         // its lock-in penalty) instead of staying dark.
@@ -326,6 +423,7 @@ impl Srs {
             let i = self.idx(s, d, w);
             self.pending_retune[i] = None;
             self.pending_relock[i] = None;
+            self.power_dirty = true;
             let c = &mut self.channels[i];
             c.settle(now);
             if c.is_on() && c.can_send(now) {
@@ -363,6 +461,7 @@ impl Srs {
         for w in self.owned_wavelengths(s, d) {
             if !self.is_failed(d, w) && !self.channel(s, d, w).is_on() {
                 self.channel_mut(s, d, w).power_on_dark(now, lock);
+                self.power_dirty = true;
             }
         }
     }
@@ -396,6 +495,7 @@ impl Srs {
         let i = self.idx(s, d, w);
         if self.channels[i].is_on() {
             self.pending_relock[i] = Some(penalty);
+            Self::queue_push(&mut self.relock_queue, i);
         }
     }
 
@@ -411,16 +511,38 @@ impl Srs {
         if self.is_tx_failed(s, d) {
             return None;
         }
-        let w = (0..self.wavelengths).find(|&w| {
-            self.owner[d as usize][w as usize] == Some(s) && {
-                let c = self.channel(s, d, w);
-                // A channel with a pending retune must not start a packet:
-                // the retune would never get a free window under load.
-                c.can_send(now) && self.pending_retune[self.idx(s, d, w)].is_none()
+        // Scan only owned wavelengths; ascending order matches the legacy
+        // full `0..W` scan over the ownership map.
+        let flow = self.flow(s, d);
+        let mut chosen = None;
+        for k in 0..self.owned[flow].len() {
+            let w = self.owned[flow][k];
+            let i = self.idx(s, d, w);
+            // A channel with a pending retune must not start a packet:
+            // the retune would never get a free window under load.
+            if self.channels[i].can_send(now) && self.pending_retune[i].is_none() {
+                chosen = Some(w);
+                break;
             }
-        })?;
+        }
+        let w = chosen?;
         let i = self.idx(s, d, w);
+        // Back-to-back reuse exactly at the previous packet's end: its
+        // wake entry has not fired yet, so close its span here first.
+        if self.busy_open[i] {
+            debug_assert!(self.busy_cap[i] <= now, "span open past serialization");
+            let cap = self.busy_cap[i];
+            self.close_busy(i, cap);
+        }
         let arrive_at = self.channels[i].begin_packet(now, packet.flits as u32);
+        let Some(until) = self.channels[i].sending_until() else {
+            unreachable!("begin_packet leaves the channel Sending")
+        };
+        self.wake.insert(until, i);
+        self.busy_open[i] = true;
+        self.busy_start[i] = now;
+        self.busy_cap[i] = until;
+        self.power_dirty = true;
         self.arrivals.insert(
             arrive_at,
             Arrival {
@@ -468,6 +590,7 @@ impl Srs {
         }
         if self.channels[i].level() != level {
             self.pending_retune[i] = Some((level, penalty));
+            Self::queue_push(&mut self.retune_queue, i);
         }
     }
 
@@ -499,7 +622,7 @@ impl Srs {
             let d = grant.destination.0;
             let w = grant.wavelength.0;
             debug_assert_eq!(self.owner[d as usize][w as usize], Some(grant.from.0));
-            self.owner[d as usize][w as usize] = Some(grant.to.0);
+            self.set_owner(now, d, w, Some(grant.to.0));
             if sink.enabled() {
                 sink.emit(
                     now,
@@ -533,16 +656,32 @@ impl Srs {
     /// is stamped `now + penalty` — the blackout span is deterministic) and
     /// [`TraceEvent::DpmApplied`] when a pending retune takes effect.
     pub fn tick_traced(&mut self, now: Cycle, sink: &mut dyn TraceSink) {
-        // Settle every on channel (cheap: only owned ones are on).
-        for c in &mut self.channels {
-            if c.is_on() {
-                c.settle(now);
+        // Settle channels whose serialization has ended (event-driven
+        // replacement for the legacy settle-every-channel scan). Channels
+        // left in a stale `Transitioning{until ≤ now}` state are
+        // observationally identical to settled-`Idle` ones — `is_on`,
+        // `can_send`, and the power accounting all agree — so only
+        // `Sending` ends need wakes. A stale wake (the channel started a
+        // new packet at exactly its old `until`) settles harmlessly.
+        while self.wake.peek_time().is_some_and(|t| t <= now) {
+            let Some((_, i)) = self.wake.pop() else {
+                break;
+            };
+            self.channels[i].settle(now);
+            if self.busy_open[i] && self.busy_cap[i] <= now {
+                let cap = self.busy_cap[i];
+                self.close_busy(i, cap);
             }
+            self.power_dirty = true;
         }
         // Apply pending CDR relocks on idle channels: the laser stays up
         // but the link is unusable until the receiver re-locks — modeled
-        // as a dark window of the relock penalty.
-        for i in 0..self.pending_relock.len() {
+        // as a dark window of the relock penalty. Only queued slots are
+        // visited; ascending index order is the legacy scan order.
+        let mut k = 0;
+        while k < self.relock_queue.len() {
+            let i = self.relock_queue[k];
+            let mut keep = false;
             if let Some(penalty) = self.pending_relock[i] {
                 let c = &mut self.channels[i];
                 if c.is_on() && c.can_send(now) {
@@ -550,6 +689,7 @@ impl Srs {
                     c.power_on_dark(now, penalty);
                     self.pending_relock[i] = None;
                     self.relocks_applied += 1;
+                    self.power_dirty = true;
                     if sink.enabled() {
                         let (src, dest, wavelength) = self.coords(i);
                         sink.emit(
@@ -572,17 +712,28 @@ impl Srs {
                     }
                 } else if !c.is_on() {
                     self.pending_relock[i] = None;
+                } else {
+                    keep = true;
                 }
             }
+            if keep {
+                k += 1;
+            } else {
+                self.relock_queue.remove(k);
+            }
         }
-        // Apply pending retunes on idle channels.
-        for i in 0..self.pending_retune.len() {
+        // Apply pending retunes on idle channels (same sweep discipline).
+        let mut k = 0;
+        while k < self.retune_queue.len() {
+            let i = self.retune_queue[k];
+            let mut keep = false;
             if let Some((level, penalty)) = self.pending_retune[i] {
                 let c = &mut self.channels[i];
                 if c.is_on() && c.can_send(now) {
                     c.begin_transition(now, level, penalty);
                     self.pending_retune[i] = None;
                     self.retunes_applied += 1;
+                    self.power_dirty = true;
                     if sink.enabled() {
                         let (src, dest, wavelength) = self.coords(i);
                         sink.emit(
@@ -597,7 +748,14 @@ impl Srs {
                     }
                 } else if !c.is_on() {
                     self.pending_retune[i] = None;
+                } else {
+                    keep = true;
                 }
+            }
+            if keep {
+                k += 1;
+            } else {
+                self.retune_queue.remove(k);
             }
         }
         // Progress ownership transfers: donor darkens, then recipient lights.
@@ -615,6 +773,7 @@ impl Srs {
                 } else if donor.can_send(now) {
                     donor.power_off(now);
                     self.pending_grants[j].donor_dark = true;
+                    self.power_dirty = true;
                 }
             }
             if self.pending_grants[j].donor_dark {
@@ -626,6 +785,7 @@ impl Srs {
                     let recipient = &mut self.channels[ri];
                     if !recipient.is_on() {
                         recipient.power_on_dark(now, lock);
+                        self.power_dirty = true;
                     }
                 }
                 self.pending_grants.swap_remove(j);
@@ -635,23 +795,36 @@ impl Srs {
         }
     }
 
-    /// Records one cycle of per-channel utilization and returns the total
-    /// instantaneous power draw (mW) of all lit lasers.
+    /// Returns the total instantaneous power draw (mW) of all lit lasers.
+    /// Between power-relevant edges (packet start/end, retune, relock,
+    /// grant, fault) the cached sum is returned unchanged; on an edge it
+    /// is recomputed by [`Srs::compute_power`] in the legacy summation
+    /// order, so the bits match the eager per-cycle loop exactly.
+    /// Link-utilization recording needs no per-cycle work any more: busy
+    /// time is integrated from serialization spans.
     pub fn record_cycle(&mut self) -> f64 {
+        if self.power_dirty {
+            self.power_cache = self.compute_power();
+            self.power_dirty = false;
+        }
+        self.power_cache
+    }
+
+    /// The eager power sum, in its original `(d asc, w asc)` order —
+    /// identical state always reproduces identical f64 bits.
+    fn compute_power(&self) -> f64 {
         let mut total = 0.0;
         for d in 0..self.boards {
             for w in 0..self.wavelengths {
                 let Some(s) = self.owner[d as usize][w as usize] else {
                     continue;
                 };
-                let i = self.idx(s, d, w);
-                let c = &self.channels[i];
+                let c = &self.channels[self.idx(s, d, w)];
                 if !c.is_on() {
                     // Mid-transfer gap: nothing lit on this wavelength.
                     continue;
                 }
                 let busy = matches!(c.state(), ChannelState::Sending { .. });
-                self.link_util[i].record(if busy { 1.0 } else { 0.0 });
                 total += if busy {
                     self.power_model.active_mw(c.level())
                 } else {
@@ -662,17 +835,31 @@ impl Srs {
         total
     }
 
-    /// Rolls all utilization windows (call at each `R_w` boundary); the
-    /// frozen values feed the next DPM/DBR decisions.
-    pub fn roll_windows(&mut self) {
-        for u in &mut self.link_util {
-            u.roll();
+    /// Rolls all utilization windows at the `R_w` boundary `now`; the
+    /// frozen values feed the next DPM/DBR decisions. Open serialization
+    /// spans are split at the boundary: cycles before `now` land in the
+    /// closing window, the rest stay with the (still open) span.
+    pub fn roll_windows(&mut self, now: Cycle) {
+        for i in 0..self.channels.len() {
+            if self.busy_open[i] {
+                let end = self.busy_cap[i].min(now);
+                if end > self.busy_start[i] {
+                    self.win_busy[i] += end - self.busy_start[i];
+                }
+                if self.busy_cap[i] <= now {
+                    self.busy_open[i] = false;
+                } else {
+                    self.busy_start[i] = now;
+                }
+            }
+            self.link_prev[i] = (self.win_busy[i] as f64 / self.window as f64).clamp(0.0, 1.0);
+            self.win_busy[i] = 0;
         }
     }
 
     /// Previous-window `Link_util` of channel `(s,d,w)`.
     pub fn link_util(&self, s: u16, d: u16, w: u16) -> f64 {
-        self.link_util[self.idx(s, d, w)].previous()
+        self.link_prev[self.idx(s, d, w)]
     }
 
     /// Board count.
@@ -683,6 +870,34 @@ impl Srs {
     /// Wavelength count.
     pub fn wavelengths(&self) -> u16 {
         self.wavelengths
+    }
+
+    /// Coarse heap-footprint estimate in bytes. The channel bank and its
+    /// per-channel span/retune/relock side tables are the O(B²·W) = O(B³)
+    /// bulk of the optical stage; smaller maps are counted per element
+    /// too. Analytic capacity × element-size sums, not an allocator probe.
+    pub fn approx_memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let per_channel = size_of::<OpticalChannel>()
+            + size_of::<f64>()          // link_prev
+            + 3 * size_of::<Cycle>()    // win_busy, busy_start, busy_cap
+            + size_of::<bool>() * 2     // busy_open, stuck_lc
+            + size_of::<Option<(RateLevel, Cycle)>>()
+            + size_of::<Option<Cycle>>();
+        size_of::<Self>()
+            + self.channels.len() * per_channel
+            + self
+                .owner
+                .iter()
+                .map(|v| size_of::<Vec<Option<u16>>>() + std::mem::size_of_val(v.as_slice()))
+                .sum::<usize>()
+            + self
+                .owned
+                .iter()
+                .map(|v| size_of::<Vec<u16>>() + v.capacity() * size_of::<u16>())
+                .sum::<usize>()
+            + self.retune_queue.capacity() * size_of::<usize>()
+            + self.relock_queue.capacity() * size_of::<usize>()
     }
 }
 
@@ -847,7 +1062,7 @@ mod tests {
             s.tick(now);
             s.record_cycle();
         }
-        s.roll_windows();
+        s.roll_windows(100);
         // 48 of 100 cycles busy on (1,0,λ1).
         assert!((s.link_util(1, 0, 1) - 0.48).abs() < 0.02);
         assert_eq!(s.link_util(2, 0, 2), 0.0);

@@ -82,6 +82,70 @@ pub struct System {
     dbr_rounds: u64,
     /// Per `(board, dest)` B_max edge detectors (empty when tracing is off).
     buffer_watch: Vec<ThresholdWatch>,
+    /// Dirty-set companion to `buffer_watch`: `true` when the watch may
+    /// not yet have observed the flow's current window value. A flow is
+    /// parked (`false`) only after its watch observed a window that was
+    /// both fed and *steady* — an untouched steady window reproduces the
+    /// previous value bit-for-bit and `ThresholdWatch::observe` of an
+    /// equal value is a state-free no-op, so skipping it is identical.
+    watch_pending: Vec<bool>,
+    /// Reusable snapshot of a board's ready destinations (the board's
+    /// active set mutates as packets depart, so `transmit` iterates a
+    /// copy).
+    ready_scratch: Vec<u16>,
+}
+
+/// Wall-time spent per engine phase over a profiled run — the breakdown
+/// `perfreport` emits so the next bottleneck is measured, not guessed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseTimers {
+    /// Faults + window boundary + DBR apply + active LS round.
+    pub reconfig: std::time::Duration,
+    /// Traffic generation / trace replay.
+    pub inject: std::time::Duration,
+    /// Electrical domain: IBI router stepping + delivery.
+    pub route: std::time::Duration,
+    /// Optical domain: TX departures, arrivals, SRS housekeeping.
+    pub optical: std::time::Duration,
+    /// Power sampling + metric recording.
+    pub stats: std::time::Duration,
+}
+
+impl PhaseTimers {
+    /// Total wall time across all phases.
+    pub fn total(&self) -> std::time::Duration {
+        self.reconfig + self.inject + self.route + self.optical + self.stats
+    }
+}
+
+/// Instrumentation hook for the cycle loop: the null probe monomorphizes
+/// to nothing, so `step` pays zero cost for the profiled variant.
+trait PhaseProbe {
+    fn start(&mut self);
+    fn lap(&mut self, bucket: fn(&mut PhaseTimers) -> &mut std::time::Duration);
+}
+
+struct NullProbe;
+impl PhaseProbe for NullProbe {
+    #[inline(always)]
+    fn start(&mut self) {}
+    #[inline(always)]
+    fn lap(&mut self, _bucket: fn(&mut PhaseTimers) -> &mut std::time::Duration) {}
+}
+
+struct TimerProbe<'a> {
+    timers: &'a mut PhaseTimers,
+    mark: std::time::Instant,
+}
+impl PhaseProbe for TimerProbe<'_> {
+    fn start(&mut self) {
+        self.mark = std::time::Instant::now();
+    }
+    fn lap(&mut self, bucket: fn(&mut PhaseTimers) -> &mut std::time::Duration) {
+        let now = std::time::Instant::now();
+        *bucket(self.timers) += now - self.mark;
+        self.mark = now;
+    }
 }
 
 /// Handles of the metrics a traced run registers (fixed registration order
@@ -170,6 +234,7 @@ impl System {
         };
         let injection_log = cfg.record_injections.then(TraceRecorder::new);
         let packet_log = cfg.packet_log.then(Vec::new);
+        let watch_pending = vec![true; buffer_watch.len()];
         Self {
             cfg,
             boards,
@@ -193,7 +258,9 @@ impl System {
             registry,
             window_index: 0,
             dbr_rounds: 0,
+            watch_pending,
             buffer_watch,
+            ready_scratch: Vec::new(),
         }
     }
 
@@ -234,32 +301,48 @@ impl System {
 
     /// Advances one cycle.
     pub fn step(&mut self) {
-        self.step_inner(true);
+        self.step_inner(true, &mut NullProbe);
     }
 
     /// Advances one cycle with the traffic sources silenced — used to
     /// drain the network completely (conservation checks, clean shutdown).
     pub fn step_without_injection(&mut self) {
-        self.step_inner(false);
+        self.step_inner(false, &mut NullProbe);
     }
 
-    fn step_inner(&mut self, inject: bool) {
+    /// Advances one cycle, attributing wall time per engine phase into
+    /// `timers`. Simulation state evolves exactly as [`System::step`].
+    pub fn step_profiled(&mut self, timers: &mut PhaseTimers) {
+        let mut probe = TimerProbe {
+            timers,
+            mark: std::time::Instant::now(),
+        };
+        self.step_inner(true, &mut probe);
+    }
+
+    fn step_inner<P: PhaseProbe>(&mut self, inject: bool, probe: &mut P) {
         let now = self.now;
+        probe.start();
         self.apply_due_faults(now);
         self.window_boundary(now);
         self.apply_due_dbr(now);
         self.tick_active_round(now);
+        probe.lap(|t| &mut t.reconfig);
         if inject {
             self.inject(now);
         }
+        probe.lap(|t| &mut t.inject);
         self.step_boards(now);
+        probe.lap(|t| &mut t.route);
         self.transmit(now);
         self.receive(now);
         self.srs.tick_traced(now, &mut self.tracer);
+        probe.lap(|t| &mut t.optical);
         let mw = self.srs.record_cycle();
         if self.metrics.measuring(now) {
             self.metrics.power.record(mw);
         }
+        probe.lap(|t| &mut t.stats);
         self.now += 1;
     }
 
@@ -273,14 +356,40 @@ impl System {
         self.now
     }
 
+    /// As [`System::run`], attributing wall time per engine phase into
+    /// `timers`. The simulation trajectory is identical — the probe only
+    /// reads clocks.
+    pub fn run_profiled(&mut self, timers: &mut PhaseTimers) -> Cycle {
+        let plan = self.metrics.plan;
+        while self.now < plan.max_cycles && !self.metrics.tracker.complete(&plan, self.now) {
+            self.step_profiled(timers);
+        }
+        self.now
+    }
+
+    /// Coarse heap-footprint estimate in bytes of the live simulation
+    /// state: boards (routers, TX queues) plus the optical stage's channel
+    /// bank. Analytic capacity × element-size sums — comparable across
+    /// board counts, which is what the scaling artifact tracks.
+    pub fn approx_memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .boards
+                .iter()
+                .map(Board::approx_memory_bytes)
+                .sum::<usize>()
+            + self.srs.approx_memory_bytes()
+            + std::mem::size_of_val(self.generators.as_slice())
+    }
+
     /// `R_w` boundary handling: roll windows, trigger the odd–even cycle.
     fn window_boundary(&mut self, now: Cycle) {
         if !self.cfg.schedule.is_boundary(now) {
             return;
         }
-        self.srs.roll_windows();
+        self.srs.roll_windows(now);
         for b in &mut self.boards {
-            b.roll_windows();
+            b.roll_windows(now);
         }
         if self.tracer.enabled() {
             self.boundary_telemetry(now);
@@ -320,8 +429,19 @@ impl System {
                 if s == d {
                     continue;
                 }
+                // Dirty-set scan: park flows whose watch already saw this
+                // exact window value (see `watch_pending`). Feeding the
+                // watch the identical bits again is a no-op, so the skip
+                // cannot change any crossing event.
+                let f = s as usize * boards as usize + d as usize;
+                let board = &self.boards[s as usize];
+                self.watch_pending[f] |= board.buffer_util_touched(d);
+                if !self.watch_pending[f] {
+                    continue;
+                }
+                self.watch_pending[f] = !board.buffer_util_steady(d);
                 let util = self.boards[s as usize].buffer_util(d);
-                let watch = &mut self.buffer_watch[s as usize * boards as usize + d as usize];
+                let watch = &mut self.buffer_watch[f];
                 if let Some(above) = watch.observe(util) {
                     self.tracer.emit(
                         now,
@@ -689,16 +809,20 @@ impl System {
     }
 
     /// Moves ready TX-queue packets onto free owned optical channels.
+    /// Only destinations with a completed packet are visited (the board's
+    /// ready-destination active set); a queue with nothing ready behaved
+    /// as a no-op under the old full `d` scan, so skipping it is
+    /// identical. The snapshot keeps the legacy ascending-`d` order.
     fn transmit(&mut self, now: Cycle) {
         let boards = self.cfg.boards;
+        let mut ready = std::mem::take(&mut self.ready_scratch);
         for s in 0..boards {
-            for d in 0..boards {
-                if s == d {
-                    continue;
-                }
+            ready.clear();
+            ready.extend_from_slice(self.boards[s as usize].ready_dests());
+            for &d in &ready {
                 while let Some(pkt) = self.boards[s as usize].tx_queue(d).peek().copied() {
                     if self.srs.try_transmit(now, s, d, pkt).is_some() {
-                        let Some(departed) = self.boards[s as usize].tx_depart(d) else {
+                        let Some(departed) = self.boards[s as usize].tx_depart(now, d) else {
                             break; // unreachable: the queue head was just peeked
                         };
                         debug_assert_eq!(departed.id, pkt.id);
@@ -717,6 +841,7 @@ impl System {
                 }
             }
         }
+        self.ready_scratch = ready;
     }
 
     /// Delivers optical arrivals into the destination boards' receivers

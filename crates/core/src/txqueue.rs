@@ -87,7 +87,10 @@ impl TransmitQueue {
         (self.packets_completed, self.packets_departed)
     }
 
-    /// Accepts one flit from the router.
+    /// Accepts one flit from the router. Returns `true` when this flit
+    /// completed a packet (it moved to the ready queue) — the board uses
+    /// this to maintain its ready-destination active set without
+    /// re-scanning every queue.
     ///
     /// `total_flits` is the system packet size (all packets are fixed-size
     /// in the paper's runs).
@@ -95,7 +98,7 @@ impl TransmitQueue {
     /// # Panics
     /// If the queue would exceed capacity — the router's credit counter for
     /// this output port must make that impossible.
-    pub fn accept(&mut self, flit: Flit, total_flits: u16, out_vc: u8, now: desim::Cycle) {
+    pub fn accept(&mut self, flit: Flit, total_flits: u16, out_vc: u8, now: desim::Cycle) -> bool {
         assert!(
             self.flits_held < self.capacity_flits,
             "TX queue overflow: credits out of sync"
@@ -131,7 +134,9 @@ impl TransmitQueue {
             pkt.completed_at = now;
             self.ready.push_back(pkt);
             self.packets_completed += 1;
+            return true;
         }
+        false
     }
 
     /// Peeks the next ready packet.

@@ -112,6 +112,17 @@ impl OpticalChannel {
         self.state != ChannelState::Off
     }
 
+    /// The serialization-end cycle of the in-flight packet, if one is
+    /// being sent. Unlike the [`Self::begin_packet`] return value this
+    /// excludes the fiber flight time: it is the cycle the *transmitter*
+    /// frees up — what an event-driven scheduler must wake at.
+    pub fn sending_until(&self) -> Option<Cycle> {
+        match self.state {
+            ChannelState::Sending { until } => Some(until),
+            _ => None,
+        }
+    }
+
     /// Lifetime packet count.
     pub fn packets_sent(&self) -> u64 {
         self.packets_sent

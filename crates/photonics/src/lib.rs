@@ -1,3 +1,4 @@
+#![deny(clippy::perf)]
 //! # photonics — the optical substrate of E-RAPID
 //!
 //! Models every optical component the paper's architecture (§2) relies on:

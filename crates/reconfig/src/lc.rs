@@ -152,6 +152,12 @@ impl ThresholdWatch {
 
     /// Feeds one window-average occupancy; returns `Some(new_side)` on a
     /// crossing (`true` = now above `B_max`), `None` while the side holds.
+    ///
+    /// Contract: re-observing the previous value never signals and never
+    /// changes state. The engine's window-boundary scan relies on this to
+    /// *skip* flows whose occupancy provably repeated the last window
+    /// (see the dirty-set in `erapid-core`'s `System`) — weakening it to
+    /// anything stateful would silently desynchronize those watches.
     pub fn observe(&mut self, occupancy: f64) -> Option<bool> {
         let above = occupancy > self.b_max;
         if above != self.above {
@@ -284,5 +290,24 @@ mod tests {
         // Crossing back down fires the falling edge.
         assert_eq!(watch.observe(0.2), Some(false));
         assert_eq!(watch.observe(0.2), None);
+    }
+
+    #[test]
+    fn threshold_watch_repeat_observation_is_a_no_op() {
+        // The dirty-set skip contract: from any reachable state, feeding
+        // the previous value again neither signals nor changes state, so
+        // an engine that elides repeat observations is indistinguishable
+        // from one that performs them.
+        let mut watch = ThresholdWatch::new(0.3);
+        for v in [0.0, 0.29, 0.9, 0.3, 0.31, 0.1] {
+            let first = watch.observe(v);
+            let side = watch.is_above();
+            for _ in 0..3 {
+                assert_eq!(watch.observe(v), None, "repeat of {v} signalled");
+                assert_eq!(watch.is_above(), side, "repeat of {v} mutated state");
+            }
+            // The first observation is the only one that may signal.
+            let _ = first;
+        }
     }
 }

@@ -1,4 +1,5 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(clippy::perf)]
 //! # router — cycle-accurate electrical virtual-channel router
 //!
 //! The Intra-Board Interconnect (IBI) of E-RAPID is "scalable electrical"

@@ -111,6 +111,17 @@ pub struct Router {
     sa_requests: Vec<bool>,
     /// SA scratch: input ports already matched this cycle.
     sa_input_used: Vec<bool>,
+    /// Input VCs in `WaitingVc{out}` per output port (requester indices
+    /// `p·V + v`, unordered — they only seed the arbitration bitmap, whose
+    /// bits are position-addressed). The VA stage visits only ports with a
+    /// non-empty list instead of scanning every input VC per output port.
+    va_waiting: Vec<Vec<u16>>,
+    /// Input VCs in `Active{out, ..}` per output port — the SA stage's
+    /// candidate set (same representation as `va_waiting`).
+    sa_active: Vec<Vec<u16>>,
+    /// Input VCs with RC work pending (`Idle` with a buffered head, or
+    /// `Routing`). Zero lets `step` skip the RC scan entirely.
+    rc_candidates: u32,
 }
 
 impl Router {
@@ -147,6 +158,9 @@ impl Router {
             va_requests: vec![false; requesters],
             sa_requests: vec![false; requesters],
             sa_input_used: vec![false; cfg.in_ports as usize],
+            va_waiting: vec![Vec::new(); cfg.out_ports as usize],
+            sa_active: vec![Vec::new(); cfg.out_ports as usize],
+            rc_candidates: 0,
         }
     }
 
@@ -203,7 +217,12 @@ impl Router {
     /// # Panics
     /// If the buffer is full (callers must check [`Router::can_accept`]).
     pub fn inject(&mut self, port: PortId, vc: u8, flit: Flit) {
-        self.inputs[port.index()][vc as usize].buffer.push(flit);
+        let ivc = &mut self.inputs[port.index()][vc as usize];
+        ivc.buffer.push(flit);
+        // A head landing in an empty idle VC arms RC for the next cycle.
+        if ivc.state == VcState::Idle && ivc.buffer.len() == 1 {
+            self.rc_candidates += 1;
+        }
         self.stats.injected += 1;
         self.buffered += 1;
         if self.buffered > self.buffered_peak {
@@ -243,6 +262,31 @@ impl Router {
         peak
     }
 
+    /// Coarse heap-footprint estimate in bytes: the per-(port × VC) state
+    /// that dominates the router's memory — input VC buffers, output-VC
+    /// owner/credit tables, arbiters and request bitmaps. An analytic
+    /// capacity × element-size sum (not an allocator probe), comparable
+    /// across configurations: the scaling bench uses it to track how the
+    /// electrical domain's footprint grows with the board count.
+    pub fn approx_memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let per_vc = size_of::<InputVc>() + self.cfg.buf_depth * size_of::<Flit>();
+        let in_vcs = self.cfg.in_ports as usize * self.cfg.vcs as usize;
+        let out_vcs = self.cfg.out_ports as usize * self.cfg.vcs as usize;
+        size_of::<Self>()
+            + in_vcs * per_vc
+            + out_vcs * (size_of::<Option<(u16, u8)>>() + size_of::<CreditCounter>())
+            + (self.sa_arbiters.capacity() + self.va_arbiters.capacity())
+                * size_of::<RoundRobinArbiter>()
+            + self.va_requests.capacity()
+            + self.sa_requests.capacity()
+            + self.sa_input_used.capacity()
+            + (self.va_waiting.iter().map(Vec::capacity).sum::<usize>()
+                + self.sa_active.iter().map(Vec::capacity).sum::<usize>())
+                * size_of::<u16>()
+            + (self.va_waiting.capacity() + self.sa_active.capacity()) * size_of::<Vec<u16>>()
+    }
+
     /// Advances one cycle; returns the flits that traversed the switch.
     ///
     /// Convenience wrapper over [`Router::step_into`] that allocates a
@@ -273,7 +317,16 @@ impl Router {
 
     /// RC: idle VCs with a head flit start route computation; completed
     /// computations move to WaitingVc.
+    ///
+    /// The scan is gated on `rc_candidates` (VCs that are `Idle` with a
+    /// buffered head, or `Routing`). Gating is exact — not an
+    /// approximation — because every transition into a candidate state
+    /// bumps the counter, and each VC's RC decision reads only that VC's
+    /// state, so scanning or skipping non-candidates is indistinguishable.
     fn stage_rc(&mut self, now: Cycle) {
+        if self.rc_candidates == 0 {
+            return;
+        }
         for port in 0..self.cfg.in_ports {
             for vc in 0..self.cfg.vcs {
                 let ivc = &mut self.inputs[port as usize][vc as usize];
@@ -293,6 +346,7 @@ impl Router {
                             // state; recover by resetting it to Idle.
                             debug_assert!(false, "routing VC lost its head flit");
                             ivc.state = VcState::Idle;
+                            self.rc_candidates -= 1;
                             continue;
                         };
                         let dst = front.dst;
@@ -302,6 +356,9 @@ impl Router {
                             "route function returned invalid port {out_port}"
                         );
                         ivc.state = VcState::WaitingVc { out_port };
+                        self.rc_candidates -= 1;
+                        self.va_waiting[out_port.index()]
+                            .push(port * self.cfg.vcs as u16 + vc as u16);
                     }
                     _ => {}
                 }
@@ -310,6 +367,11 @@ impl Router {
     }
 
     /// VA: WaitingVc inputs request a free output VC at their output port.
+    ///
+    /// Only ports with a non-empty waiting list are visited; the request
+    /// bitmap is seeded from the list (and wiped through it afterwards),
+    /// so its bits — the arbiter's only input — are identical to the
+    /// full-scan construction regardless of list order.
     fn stage_va(&mut self, now: Cycle) {
         let vcs = self.cfg.vcs as usize;
         // Scratch buffers are persistent fields; take them to sidestep the
@@ -317,37 +379,21 @@ impl Router {
         let mut free = std::mem::take(&mut self.va_free);
         let mut requests = std::mem::take(&mut self.va_requests);
         for out in 0..self.cfg.out_ports as usize {
+            if self.va_waiting[out].is_empty() {
+                // No requester: the arbiter would see an empty bitmap and
+                // hold its rotor, so skipping the port is identical.
+                continue;
+            }
             // Free output VCs at this port.
             free.clear();
             free.extend((0..vcs).filter(|&v| self.out_vc_owner[out][v].is_none()));
             if free.is_empty() {
-                // Count stalled requesters for stats.
-                let stalled = self
-                    .inputs
-                    .iter()
-                    .flatten()
-                    .filter(|ivc| {
-                        ivc.state
-                            == (VcState::WaitingVc {
-                                out_port: PortId(out as u16),
-                            })
-                    })
-                    .count();
-                self.stats.va_stalls += stalled as u64;
+                self.stats.va_stalls += self.va_waiting[out].len() as u64;
                 continue;
             }
             // Gather requests.
-            requests.iter_mut().for_each(|r| *r = false);
-            for p in 0..self.cfg.in_ports as usize {
-                for v in 0..vcs {
-                    if self.inputs[p][v].state
-                        == (VcState::WaitingVc {
-                            out_port: PortId(out as u16),
-                        })
-                    {
-                        requests[p * vcs + v] = true;
-                    }
-                }
+            for &r in &self.va_waiting[out] {
+                requests[r as usize] = true;
             }
             // Grant one output VC per arbitration round, up to the number
             // of free VCs.
@@ -356,6 +402,15 @@ impl Router {
                     break;
                 };
                 requests[winner] = false;
+                let Some(pos) = self.va_waiting[out]
+                    .iter()
+                    .position(|&r| r as usize == winner)
+                else {
+                    debug_assert!(false, "VA winner missing from waiting list");
+                    continue;
+                };
+                self.va_waiting[out].swap_remove(pos);
+                self.sa_active[out].push(winner as u16);
                 let (p, v) = (winner / vcs, winner % vcs);
                 self.out_vc_owner[out][out_vc] = Some((p as u16, v as u8));
                 self.inputs[p][v].state = VcState::Active {
@@ -364,6 +419,11 @@ impl Router {
                     active_at: now + 1,
                 };
             }
+            // Wipe the losers' bits so the bitmap is clean for the next
+            // port without an O(requesters) clear.
+            for &r in &self.va_waiting[out] {
+                requests[r as usize] = false;
+            }
         }
         self.va_free = free;
         self.va_requests = requests;
@@ -371,47 +431,57 @@ impl Router {
 
     /// SA + ST: separable switch allocation, then traversal (appended to
     /// `traversals`).
+    ///
+    /// Candidates come from the per-port `sa_active` lists; as in VA, the
+    /// bitmap bits (and therefore the arbitration outcome, the stall
+    /// stats and the traversal order) are exactly those of the full scan.
     fn stage_sa_st(&mut self, now: Cycle, traversals: &mut Vec<Traversal>) {
         let vcs = self.cfg.vcs as usize;
         let mut input_port_used = std::mem::take(&mut self.sa_input_used);
         let mut requests = std::mem::take(&mut self.sa_requests);
         input_port_used.iter_mut().for_each(|u| *u = false);
         for out in 0..self.cfg.out_ports as usize {
-            requests.iter_mut().for_each(|r| *r = false);
-            let mut any = false;
-            for p in 0..self.cfg.in_ports as usize {
+            if self.sa_active[out].is_empty() {
+                continue;
+            }
+            let mut requesters = 0u64;
+            for &r in &self.sa_active[out] {
+                let (p, v) = (r as usize / vcs, r as usize % vcs);
                 if input_port_used[p] {
                     continue;
                 }
-                for v in 0..vcs {
-                    let ivc = &self.inputs[p][v];
-                    if let VcState::Active {
-                        out_port,
-                        out_vc,
-                        active_at,
-                    } = ivc.state
-                    {
-                        if out_port.index() == out
-                            && now >= active_at
-                            && !ivc.buffer.is_empty()
-                            && self.out_credits[out][out_vc as usize].can_send()
-                        {
-                            requests[p * vcs + v] = true;
-                            any = true;
-                        }
-                    }
+                let ivc = &self.inputs[p][v];
+                let VcState::Active {
+                    out_vc, active_at, ..
+                } = ivc.state
+                else {
+                    debug_assert!(false, "sa_active entry not Active");
+                    continue;
+                };
+                if now >= active_at
+                    && !ivc.buffer.is_empty()
+                    && self.out_credits[out][out_vc as usize].can_send()
+                {
+                    requests[r as usize] = true;
+                    requesters += 1;
                 }
             }
-            if !any {
+            if requesters == 0 {
                 continue;
             }
-            let Some(winner) = self.sa_arbiters[out].arbitrate(&requests) else {
-                // Unreachable (`any` guaranteed a requester); skip the port
+            let winner = self.sa_arbiters[out].arbitrate(&requests);
+            // Wipe the set bits before acting on the winner so the bitmap
+            // is clean for the next port.
+            for &r in &self.sa_active[out] {
+                requests[r as usize] = false;
+            }
+            let Some(winner) = winner else {
+                // Unreachable (`requesters` guaranteed one); skip the port
                 // rather than corrupting switch state.
                 debug_assert!(false, "arbitration failed with requests pending");
                 continue;
             };
-            self.stats.sa_stalls += (requests.iter().filter(|&&r| r).count() - 1) as u64;
+            self.stats.sa_stalls += requesters - 1;
             let (p, v) = (winner / vcs, winner % vcs);
             input_port_used[p] = true;
             let ivc = &mut self.inputs[p][v];
@@ -431,6 +501,16 @@ impl Router {
                 // the next head (if already buffered) starts RC next cycle.
                 self.out_vc_owner[out][out_vc as usize] = None;
                 ivc.state = VcState::Idle;
+                if let Some(pos) = self.sa_active[out]
+                    .iter()
+                    .position(|&r| r as usize == winner)
+                {
+                    self.sa_active[out].swap_remove(pos);
+                }
+                if !ivc.buffer.is_empty() {
+                    // The next packet's head is already queued: RC work.
+                    self.rc_candidates += 1;
+                }
             }
             traversals.push(Traversal {
                 out_port: PortId(out as u16),

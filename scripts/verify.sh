@@ -20,6 +20,16 @@ cargo build --release --workspace
 echo "== cargo test -q =="
 cargo test -q --workspace
 
+echo "== perf smoke (reduced grid vs committed BENCH baseline) =="
+if [ "${ERAPID_SKIP_PERF_SMOKE:-0}" = "1" ]; then
+    echo "perf smoke: skipped (ERAPID_SKIP_PERF_SMOKE=1)"
+else
+    # Fails when the measured rate drops >20% below the best committed
+    # BENCH_<sha>.json baseline (noisy shared runners: set
+    # ERAPID_SKIP_PERF_SMOKE=1 instead of raising the tolerance).
+    cargo run --release -q -p erapid-bench --bin perfreport -- --smoke
+fi
+
 echo "== resilience smoke (quick fault-scenario matrix) =="
 ERAPID_QUICK=1 cargo run --release -q -p erapid-bench --bin resilience > /dev/null
 rm -f RESILIENCE_*.json
