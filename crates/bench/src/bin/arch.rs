@@ -14,8 +14,12 @@ use photonics::transmitter::TransmitterBank;
 use photonics::wavelength::BoardId;
 
 fn main() {
+    // Skip flags (e.g. the workspace-wide `--seq` escape hatch — this bin
+    // is purely analytic, so it is a no-op here): the first bare argument
+    // is the board count.
     let boards: u16 = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
         .map(|s| s.parse().expect("board count"))
         .unwrap_or(4);
     let rwa = StaticRwa::new(boards);

@@ -12,12 +12,17 @@
 //!   optical / stats) from a profiled representative run,
 //! * a fixed reduced-grid smoke rate (`cycles_per_sec_smoke`) that
 //!   `verify.sh` re-measures via `--smoke` and compares against the
-//!   committed baseline, failing on a >20% regression.
+//!   committed baseline, failing on a >20% regression,
+//! * an intra-point speedup measurement: the heaviest smoke point run
+//!   through the board-sharded engine (DESIGN.md §12) against the
+//!   sequential engine, identical results asserted and — whenever the
+//!   machine actually has >= 2 hardware threads — gated at >= 1.5x.
 //!
 //! ```text
 //! cargo run --release -p erapid-bench --bin perfreport
 //! cargo run --release -p erapid-bench --bin perfreport -- --smoke
 //! ERAPID_THREADS=4 cargo run --release -p erapid-bench --bin perfreport
+//! cargo run --release -p erapid-bench --bin perfreport -- --seq   # force 1x1 threading
 //! ```
 
 use desim::phase::PhasePlan;
@@ -86,6 +91,59 @@ fn measure_smoke() -> (f64, u64) {
     (cycles as f64 / wall.max(1e-9), cycles)
 }
 
+/// Times the heaviest smoke point (by the scheduler's own cost estimate)
+/// with the sequential engine and again with the board-sharded engine on
+/// `workers` workers, asserting identical results. Returns
+/// (sequential_s, sharded_s, speedup).
+fn measure_intra_point(workers: NonZeroUsize) -> (f64, f64, f64) {
+    let point = smoke_points()
+        .into_iter()
+        .max_by_key(|p| p.estimated_cost())
+        .expect("smoke grid is non-empty");
+    let t0 = Instant::now();
+    let seq = point.clone().run_with(NonZeroUsize::MIN);
+    let seq_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let sharded = point.run_with(workers);
+    let sharded_s = t1.elapsed().as_secs_f64();
+    assert_eq!(seq, sharded, "sharded point diverged from sequential");
+    (seq_s, sharded_s, seq_s / sharded_s.max(1e-9))
+}
+
+/// Worker count for the intra-point measurement: up to 4 hardware
+/// threads, 1 when `--seq` was passed.
+fn intra_point_workers(seq_flag: bool) -> NonZeroUsize {
+    if seq_flag {
+        NonZeroUsize::MIN
+    } else {
+        NonZeroUsize::new(available_threads().get().min(4)).unwrap_or(NonZeroUsize::MIN)
+    }
+}
+
+/// Prints and (when real parallelism exists) gates the intra-point
+/// speedup at >= 1.5x. Exits the process in `strict` mode, panics
+/// otherwise — both fail CI the same way.
+fn check_intra_point(workers: NonZeroUsize, strict: bool) -> f64 {
+    let (seq_s, sharded_s, sp) = measure_intra_point(workers);
+    println!(
+        "  intra-point: heaviest smoke point seq {seq_s:.2}s  sharded {sharded_s:.2}s  \
+         -> {sp:.2}x on {workers} board workers (results identical)"
+    );
+    if workers.get() >= 2 && available_threads().get() >= 2 {
+        if sp < 1.5 {
+            if strict {
+                eprintln!("FAIL: intra-point speedup {sp:.2}x < 1.5x on {workers} workers");
+                std::process::exit(1);
+            }
+            panic!("intra-point speedup {sp:.2}x < 1.5x on {workers} workers");
+        }
+        println!("  intra-point speedup gate: {sp:.2}x >= 1.5x OK");
+    } else {
+        println!("  intra-point speedup gate: skipped (single hardware thread)");
+    }
+    sp
+}
+
 /// Extracts `"cycles_per_sec_smoke": <number>` from a baseline JSON blob
 /// (no serde in the workspace — the artifact format is ours, a string
 /// scan is exact enough).
@@ -126,9 +184,10 @@ fn baseline_smoke_rate(explicit: Option<&str>) -> Option<(String, f64)> {
 }
 
 /// `--smoke` mode: re-measure the reduced grid and fail (exit 1) when the
-/// rate regressed more than 20% below the committed baseline. With no
-/// baseline carrying the field yet, the measurement is informational.
-fn run_smoke(baseline_path: Option<&str>) {
+/// rate regressed more than 20% below the committed baseline, then gate
+/// the intra-point sharded speedup the same way. With no baseline
+/// carrying the field yet, the rate measurement is informational.
+fn run_smoke(baseline_path: Option<&str>, seq_flag: bool) {
     let (rate, cycles) = measure_smoke();
     println!("smoke: {rate:.0} sim cycles/sec ({cycles} cycles, reduced grid, 1 thread)");
     match baseline_smoke_rate(baseline_path) {
@@ -143,12 +202,18 @@ fn run_smoke(baseline_path: Option<&str>) {
         }
         None => println!("no committed baseline with cycles_per_sec_smoke; recording only"),
     }
+    check_intra_point(intra_point_workers(seq_flag), true);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let seq_flag = args.iter().any(|a| a == "--seq");
     if args.first().map(String::as_str) == Some("--smoke") {
-        run_smoke(args.get(1).map(String::as_str));
+        let baseline = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str);
+        run_smoke(baseline, seq_flag);
         return;
     }
 
@@ -273,6 +338,9 @@ fn main() {
     let (cps_smoke, smoke_cycles) = measure_smoke();
     println!("  smoke rate: {cps_smoke:.0} sim cycles/sec ({smoke_cycles} cycles, reduced grid)");
 
+    let ip_workers = intra_point_workers(seq_flag);
+    let intra_point_speedup = check_intra_point(ip_workers, false);
+
     let rss = peak_rss_kb();
     println!("  peak RSS: {rss} kB");
 
@@ -300,7 +368,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"git_sha\": \"{sha}\",\n  \"threads\": {threads},\n  \"workload\": {{\"system\": \"paper64\", \"modes\": 4, \"patterns\": [\"uniform\", \"complement\"], \"loads\": [0.2, 0.5, 0.8]}},\n  \"panels\": [\n{panels}\n  ],\n  \"phase_profile\": {{\n    \"workload\": \"paper64 P-B complement 0.5\",\n    \"cycles\": {prof_cycles},\n    \"reconfig_s\": {reconf:.6},\n    \"inject_s\": {inject:.6},\n    \"route_s\": {route:.6},\n    \"optical_s\": {optical:.6},\n    \"stats_s\": {stats:.6}\n  }},\n  \"totals\": {{\n    \"sequential_s\": {seq_total:.6},\n    \"parallel_s\": {par_total:.6},\n    \"speedup\": {speedup:.3},\n    \"sim_cycles\": {cycles_total},\n    \"cycles_per_sec_single\": {cps_single:.0},\n    \"cycles_per_sec_parallel\": {cps_parallel:.0},\n    \"cycles_per_sec_smoke\": {cps_smoke:.0}\n  }},\n  \"peak_rss_kb\": {rss},\n  \"parallel_identical\": true\n}}\n",
+        "{{\n  \"git_sha\": \"{sha}\",\n  \"threads\": {threads},\n  \"workload\": {{\"system\": \"paper64\", \"modes\": 4, \"patterns\": [\"uniform\", \"complement\"], \"loads\": [0.2, 0.5, 0.8]}},\n  \"panels\": [\n{panels}\n  ],\n  \"phase_profile\": {{\n    \"workload\": \"paper64 P-B complement 0.5\",\n    \"cycles\": {prof_cycles},\n    \"reconfig_s\": {reconf:.6},\n    \"inject_s\": {inject:.6},\n    \"route_s\": {route:.6},\n    \"optical_s\": {optical:.6},\n    \"stats_s\": {stats:.6}\n  }},\n  \"totals\": {{\n    \"sequential_s\": {seq_total:.6},\n    \"parallel_s\": {par_total:.6},\n    \"speedup\": {speedup:.3},\n    \"sim_cycles\": {cycles_total},\n    \"cycles_per_sec_single\": {cps_single:.0},\n    \"cycles_per_sec_parallel\": {cps_parallel:.0},\n    \"cycles_per_sec_smoke\": {cps_smoke:.0},\n    \"intra_point_workers\": {ip_workers},\n    \"intra_point_speedup\": {intra_point_speedup:.3}\n  }},\n  \"peak_rss_kb\": {rss},\n  \"parallel_identical\": true\n}}\n",
         threads = cfg.threads,
         panels = panel_json.join(",\n"),
         reconf = timers.reconfig.as_secs_f64(),

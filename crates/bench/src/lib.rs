@@ -13,8 +13,16 @@
 //! * `ERAPID_THREADS=<n>` — worker threads for the run-level executor
 //!   (default: all available cores; results are byte-identical for any
 //!   value).
+//! * `ERAPID_POINT_THREADS=<n>` — board-shard workers *inside* each
+//!   point's cycle engine (DESIGN.md §12; default 1 = sequential engine,
+//!   0 = all available cores; byte-identical for any value).
 //! * `ERAPID_TRACE=<path>` — where the `tracereport` binary writes its
 //!   JSONL event trace (a Chrome/Perfetto trace lands next to it).
+//!
+//! Every binary also accepts a `--seq` escape-hatch flag (handled here in
+//! [`BenchConfig::from_env`], no per-binary parsing): it forces both the
+//! run-level executor and the per-point cycle engine to a single thread,
+//! overriding the env knobs — for debugging and for timing baselines.
 
 use erapid_core::config::{NetworkMode, SystemConfig};
 use erapid_core::experiment::{default_plan, paper_loads, run_once, RunResult, TraceSource};
@@ -65,6 +73,9 @@ pub struct BenchConfig {
     pub quick: bool,
     /// Worker threads for the run-level executor.
     pub threads: NonZeroUsize,
+    /// Board-shard workers inside each point's cycle engine (1 = the
+    /// sequential engine; DESIGN.md §12).
+    pub point_threads: NonZeroUsize,
     /// Directory CSVs (and the perf report) are written to.
     pub results: PathBuf,
     /// Event-trace output path (`tracereport` only; `None` = default).
@@ -76,6 +87,7 @@ impl Default for BenchConfig {
         Self {
             quick: false,
             threads: runner::available_threads(),
+            point_threads: NonZeroUsize::MIN,
             results: PathBuf::from("results"),
             trace: None,
         }
@@ -83,14 +95,26 @@ impl Default for BenchConfig {
 }
 
 impl BenchConfig {
-    /// Reads `ERAPID_QUICK`, `ERAPID_THREADS`, `ERAPID_RESULTS` and
-    /// `ERAPID_TRACE`. Binaries call this once at the top of `main`.
+    /// Reads `ERAPID_QUICK`, `ERAPID_THREADS`, `ERAPID_POINT_THREADS`,
+    /// `ERAPID_RESULTS` and `ERAPID_TRACE`, plus the `--seq` escape hatch
+    /// from the command line (forces both thread knobs to 1). Binaries
+    /// call this once at the top of `main`.
     pub fn from_env() -> Self {
+        let seq = std::env::args().skip(1).any(|a| a == "--seq");
         Self {
             quick: std::env::var("ERAPID_QUICK")
                 .map(|v| v == "1")
                 .unwrap_or(false),
-            threads: runner::threads_from_env(),
+            threads: if seq {
+                NonZeroUsize::MIN
+            } else {
+                runner::threads_from_env()
+            },
+            point_threads: if seq {
+                NonZeroUsize::MIN
+            } else {
+                runner::point_threads_from_env()
+            },
             results: PathBuf::from(
                 std::env::var("ERAPID_RESULTS").unwrap_or_else(|_| "results".into()),
             ),
@@ -140,9 +164,10 @@ impl BenchConfig {
         }
     }
 
-    /// Runs one (mode, pattern, load) point on the paper's 64-node system.
+    /// Runs one (mode, pattern, load) point on the paper's 64-node system,
+    /// board-sharded onto `point_threads` workers (1 = sequential engine).
     pub fn run_point(&self, mode: NetworkMode, pattern: &TrafficPattern, load: f64) -> RunResult {
-        self.point(mode, pattern, load).run()
+        self.point(mode, pattern, load).run_with(self.point_threads)
     }
 
     /// Runs the full panel for one pattern (the 4 curves of one figure
@@ -153,18 +178,19 @@ impl BenchConfig {
         let loads = self.load_axis();
         let modes = NetworkMode::all();
         eprintln!(
-            "  running {} ({} modes x {} loads on {} threads) ...",
+            "  running {} ({} modes x {} loads on {} threads x {} point workers) ...",
             name,
             modes.len(),
             loads.len(),
-            self.threads
+            self.threads,
+            self.point_threads
         );
         let points: Vec<RunPoint> = modes
             .iter()
             .flat_map(|&mode| loads.iter().map(move |&l| (mode, l)))
             .map(|(mode, l)| self.point(mode, pattern, l))
             .collect();
-        let mut flat = runner::run_points(self.threads, points);
+        let mut flat = runner::run_points_sharded(self.threads, self.point_threads, points);
         let mut results = Vec::new();
         for &mode in modes.iter().rev() {
             let series: Vec<RunResult> = flat.split_off(flat.len() - loads.len());
@@ -352,6 +378,26 @@ mod tests {
     fn run_point_smoke() {
         let r = quick_cfg().run_point(NetworkMode::NpNb, &TrafficPattern::Uniform, 0.2);
         assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn sharded_panel_matches_sequential() {
+        // Run-level pool *and* per-point board sharding at once: the
+        // nested 2x2 budget must still be byte-identical to the plain
+        // sequential loop.
+        let cfg = BenchConfig {
+            quick: true,
+            threads: NonZeroUsize::new(2).unwrap(),
+            point_threads: NonZeroUsize::new(2).unwrap(),
+            ..BenchConfig::default()
+        };
+        let par = cfg.run_panel("uniform", &TrafficPattern::Uniform);
+        let seq = run_panel_sequential(&cfg, "uniform", &TrafficPattern::Uniform);
+        assert_eq!(par.loads, seq.loads);
+        for ((ma, sa), (mb, sb)) in par.results.iter().zip(&seq.results) {
+            assert_eq!(ma, mb);
+            assert_eq!(sa, sb, "mode {} series diverged", ma.name());
+        }
     }
 
     #[test]

@@ -121,9 +121,34 @@ pub fn run_once_traced(
     load: f64,
     plan: PhasePlan,
 ) -> (RunResult, RunTrace) {
+    run_once_traced_sharded(cfg, pattern, load, plan, std::num::NonZeroUsize::MIN)
+}
+
+/// As [`run_once`], with the cycle engine sharded across boards onto
+/// `point_threads` workers (see [`System::run_sharded`]). Byte-identical
+/// to the sequential run for any worker count.
+pub fn run_once_sharded(
+    cfg: SystemConfig,
+    pattern: TrafficPattern,
+    load: f64,
+    plan: PhasePlan,
+    point_threads: std::num::NonZeroUsize,
+) -> RunResult {
+    run_once_traced_sharded(cfg, pattern, load, plan, point_threads).0
+}
+
+/// Sharded variant of [`run_once_traced`] — one worker degenerates to the
+/// plain sequential engine.
+pub fn run_once_traced_sharded(
+    cfg: SystemConfig,
+    pattern: TrafficPattern,
+    load: f64,
+    plan: PhasePlan,
+    point_threads: std::num::NonZeroUsize,
+) -> (RunResult, RunTrace) {
     let capacity = cfg.capacity().uniform_capacity();
     let mut sys = System::new(cfg, pattern, load, plan);
-    let cycles = sys.run();
+    let cycles = sys.run_sharded(point_threads);
     collect(sys, load, capacity, cycles)
 }
 
@@ -210,10 +235,32 @@ pub fn run_once_replayed_traced(
     trace: &InjectionTrace,
     plan: PhasePlan,
 ) -> (RunResult, RunTrace) {
+    run_once_replayed_traced_sharded(cfg, trace, plan, std::num::NonZeroUsize::MIN)
+}
+
+/// As [`run_once_replayed`], on the board-sharded engine. Replay and
+/// sharding compose: injection stays a sequential phase, so the replayed
+/// packet stream is identical for any worker count.
+pub fn run_once_replayed_sharded(
+    cfg: SystemConfig,
+    trace: &InjectionTrace,
+    plan: PhasePlan,
+    point_threads: std::num::NonZeroUsize,
+) -> RunResult {
+    run_once_replayed_traced_sharded(cfg, trace, plan, point_threads).0
+}
+
+/// Sharded variant of [`run_once_replayed_traced`].
+pub fn run_once_replayed_traced_sharded(
+    cfg: SystemConfig,
+    trace: &InjectionTrace,
+    plan: PhasePlan,
+    point_threads: std::num::NonZeroUsize,
+) -> (RunResult, RunTrace) {
     let capacity = cfg.capacity().uniform_capacity();
     let load = trace.meta.load;
     let mut sys = System::with_trace(cfg, trace.replayer(), plan);
-    let cycles = sys.run();
+    let cycles = sys.run_sharded(point_threads);
     collect(sys, load, capacity, cycles)
 }
 

@@ -76,6 +76,7 @@ pub mod faults;
 pub mod inject;
 pub mod metrics;
 pub mod runner;
+pub(crate) mod shard;
 pub mod srs;
 pub mod system;
 pub mod txqueue;
@@ -83,13 +84,16 @@ pub mod txqueue;
 pub use config::{NetworkMode, SystemConfig};
 pub use error::ErapidError;
 pub use experiment::{
-    run_once, run_once_recorded, run_once_replayed, run_once_replayed_traced, run_once_traced,
-    sweep_loads, sweep_loads_with, trace_meta, RunResult, RunTrace, TraceSource,
+    run_once, run_once_recorded, run_once_replayed, run_once_replayed_sharded,
+    run_once_replayed_traced, run_once_replayed_traced_sharded, run_once_sharded, run_once_traced,
+    run_once_traced_sharded, sweep_loads, sweep_loads_with, trace_meta, RunResult, RunTrace,
+    TraceSource,
 };
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::PacketDelivery;
 pub use runner::{
-    parallel_map, parallel_map_prioritized, run_points, run_points_timed, run_points_traced,
-    RunPoint,
+    nested_budget, parallel_map, parallel_map_prioritized, point_threads_from_env, run_points,
+    run_points_sharded, run_points_timed, run_points_timed_sharded, run_points_traced,
+    run_points_traced_sharded, RunPoint,
 };
 pub use system::{PhaseTimers, System};

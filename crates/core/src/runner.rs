@@ -5,8 +5,11 @@
 //! its per-node RNG streams (seeded from `cfg.seed`), so runs share no
 //! state and a run's result is byte-identical no matter which thread
 //! executes it. That makes run-level fan-out safe by construction — only
-//! the *scheduling* is concurrent, never the simulation itself (which
-//! stays intentionally single-threaded per run; see DESIGN.md §6).
+//! the *scheduling* is concurrent. A second, nested level of parallelism
+//! shards the cycle engine *inside* one point across boards
+//! (`ERAPID_POINT_THREADS`, [`crate::System::run_sharded`], DESIGN.md
+//! §12); it is deterministic by a two-phase compute/commit barrier rather
+//! than by independence.
 //!
 //! No external crates: the pool is a self-scheduling worker loop over
 //! [`std::thread::scope`] — workers pull the next unclaimed index from a
@@ -19,10 +22,7 @@
 //! machine's available parallelism.
 
 use crate::config::SystemConfig;
-use crate::experiment::{
-    run_once, run_once_replayed, run_once_replayed_traced, run_once_traced, RunResult, RunTrace,
-    TraceSource,
-};
+use crate::experiment::{RunResult, RunTrace, TraceSource};
 use desim::phase::PhasePlan;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,6 +43,34 @@ pub fn threads_from_env() -> NonZeroUsize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .and_then(NonZeroUsize::new)
         .unwrap_or_else(available_threads)
+}
+
+/// Parses the `ERAPID_POINT_THREADS` env knob — workers *inside* one
+/// simulation point for the board-sharded engine
+/// (`crate::System::run_sharded`). Unset or unparsable mean `1` (the
+/// plain sequential engine: intra-point sharding is opt-in because the
+/// run-level executor usually saturates the machine already); `0` means
+/// "use [`available_threads`]". Results are byte-identical for any value.
+pub fn point_threads_from_env() -> NonZeroUsize {
+    match std::env::var("ERAPID_POINT_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => available_threads(),
+            Ok(n) => NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN),
+            Err(_) => NonZeroUsize::MIN,
+        },
+        Err(_) => NonZeroUsize::MIN,
+    }
+}
+
+/// Splits a total worker budget across the two nesting levels: run-level
+/// workers (independent points) first — they parallelize perfectly — then
+/// whatever is left over as intra-point board-shard workers. Returns
+/// `(run_threads, point_threads)` with `run × point ≤ total` (and
+/// `run ≤ points` when there are fewer points than budget).
+pub fn nested_budget(total: NonZeroUsize, points: usize) -> (NonZeroUsize, NonZeroUsize) {
+    let run = NonZeroUsize::new(total.get().min(points.max(1))).unwrap_or(NonZeroUsize::MIN);
+    let point = NonZeroUsize::new(total.get() / run.get()).unwrap_or(NonZeroUsize::MIN);
+    (run, point)
 }
 
 /// Maps `f` over `items` on up to `threads` worker threads, returning the
@@ -157,17 +185,51 @@ impl RunPoint {
 
     /// Executes this point on the calling thread.
     pub fn run(self) -> RunResult {
+        self.run_with(NonZeroUsize::MIN)
+    }
+
+    /// Executes this point with its cycle engine sharded across boards
+    /// onto `point_threads` workers ([`crate::System::run_sharded`]);
+    /// byte-identical to [`RunPoint::run`] for any worker count.
+    pub fn run_with(self, point_threads: NonZeroUsize) -> RunResult {
         match self.source {
-            TraceSource::Generate => run_once(self.cfg, self.pattern, self.load, self.plan),
-            TraceSource::Replay(trace) => run_once_replayed(self.cfg, &trace, self.plan),
+            TraceSource::Generate => crate::experiment::run_once_sharded(
+                self.cfg,
+                self.pattern,
+                self.load,
+                self.plan,
+                point_threads,
+            ),
+            TraceSource::Replay(trace) => crate::experiment::run_once_replayed_sharded(
+                self.cfg,
+                &trace,
+                self.plan,
+                point_threads,
+            ),
         }
     }
 
     /// Executes this point on the calling thread, keeping its trace.
     pub fn run_traced(self) -> (RunResult, RunTrace) {
+        self.run_traced_with(NonZeroUsize::MIN)
+    }
+
+    /// Sharded variant of [`RunPoint::run_traced`].
+    pub fn run_traced_with(self, point_threads: NonZeroUsize) -> (RunResult, RunTrace) {
         match self.source {
-            TraceSource::Generate => run_once_traced(self.cfg, self.pattern, self.load, self.plan),
-            TraceSource::Replay(trace) => run_once_replayed_traced(self.cfg, &trace, self.plan),
+            TraceSource::Generate => crate::experiment::run_once_traced_sharded(
+                self.cfg,
+                self.pattern,
+                self.load,
+                self.plan,
+                point_threads,
+            ),
+            TraceSource::Replay(trace) => crate::experiment::run_once_replayed_traced_sharded(
+                self.cfg,
+                &trace,
+                self.plan,
+                point_threads,
+            ),
         }
     }
 }
@@ -177,6 +239,44 @@ impl RunPoint {
 /// sequentially.
 pub fn run_points(threads: NonZeroUsize, points: Vec<RunPoint>) -> Vec<RunResult> {
     parallel_map_prioritized(threads, points, RunPoint::estimated_cost, RunPoint::run)
+}
+
+/// As [`run_points`], with each point's cycle engine additionally sharded
+/// across boards onto `point_threads` workers — the nested point×board
+/// budget (see [`nested_budget`]). Byte-identical to [`run_points`] for
+/// any `(threads, point_threads)` combination.
+pub fn run_points_sharded(
+    threads: NonZeroUsize,
+    point_threads: NonZeroUsize,
+    points: Vec<RunPoint>,
+) -> Vec<RunResult> {
+    parallel_map_prioritized(threads, points, RunPoint::estimated_cost, |p: RunPoint| {
+        p.run_with(point_threads)
+    })
+}
+
+/// Sharded variant of [`run_points_timed`].
+pub fn run_points_timed_sharded(
+    threads: NonZeroUsize,
+    point_threads: NonZeroUsize,
+    points: Vec<RunPoint>,
+) -> Vec<(RunResult, std::time::Duration)> {
+    parallel_map_prioritized(threads, points, RunPoint::estimated_cost, |p: RunPoint| {
+        let start = std::time::Instant::now();
+        let r = p.run_with(point_threads);
+        (r, start.elapsed())
+    })
+}
+
+/// Sharded variant of [`run_points_traced`].
+pub fn run_points_traced_sharded(
+    threads: NonZeroUsize,
+    point_threads: NonZeroUsize,
+    points: Vec<RunPoint>,
+) -> Vec<(RunResult, RunTrace)> {
+    parallel_map_prioritized(threads, points, RunPoint::estimated_cost, |p: RunPoint| {
+        p.run_traced_with(point_threads)
+    })
 }
 
 /// As [`run_points`], additionally reporting each point's wall time — the

@@ -555,6 +555,54 @@ impl Srs {
         Some(w)
     }
 
+    /// Captures the raw base pointers the sharded engine slices per-lane
+    /// views from. The channel bank and its busy-span companions are dense
+    /// `(s·B + d)·W + w` arrays, so source board `s` owns the contiguous
+    /// block `[s·B·W, (s+1)·B·W)` of every one of them — a worker holding
+    /// lane `s` never aliases lane `s'`. All the backing vectors are
+    /// fixed-capacity after construction within one cycle's compute phase
+    /// (`owned`'s *inner* vectors and `failed_tx` mutate only in the
+    /// sequential phases), so pointers captured at the top of a cycle stay
+    /// valid through it.
+    ///
+    /// Safety contract (upheld by `system::step_sharded`): between
+    /// capturing parts and the commit barrier, nothing touches the SRS
+    /// through `&mut self`, and each lane index is materialized by at most
+    /// one worker.
+    pub(crate) fn shard_parts(&mut self) -> SrsShardParts {
+        SrsShardParts {
+            channels: self.channels.as_mut_ptr(),
+            win_busy: self.win_busy.as_mut_ptr(),
+            busy_open: self.busy_open.as_mut_ptr(),
+            busy_start: self.busy_start.as_mut_ptr(),
+            busy_cap: self.busy_cap.as_mut_ptr(),
+            pending_retune: self.pending_retune.as_ptr(),
+            owned: self.owned.as_ptr(),
+            failed_tx: self.failed_tx.as_ptr(),
+            failed_tx_len: self.failed_tx.len(),
+            boards: self.boards,
+            wavelengths: self.wavelengths,
+        }
+    }
+
+    /// Applies one board's buffered publish-remote effects in arrival
+    /// order: wake-queue entries and fiber arrivals re-insert in exactly
+    /// the sequence the sequential `transmit` would have produced (each
+    /// [`BinaryHeapQueue`] breaks time ties by insertion sequence, so an
+    /// identical insertion order is an identical pop order), and the power
+    /// cache is invalidated iff the lane lit a laser.
+    pub(crate) fn commit_lane_effects(&mut self, fx: &LaneEffects) {
+        for &(until, i) in &fx.wakes {
+            self.wake.insert(until, i);
+        }
+        for &(arrive_at, arr) in &fx.arrivals {
+            self.arrivals.insert(arrive_at, arr);
+        }
+        if fx.power_dirty {
+            self.power_dirty = true;
+        }
+    }
+
     /// Packets still in flight in the optical domain (serializing or on
     /// the fiber).
     pub fn arrivals_pending(&self) -> usize {
@@ -898,6 +946,203 @@ impl Srs {
                 .sum::<usize>()
             + self.retune_queue.capacity() * size_of::<usize>()
             + self.relock_queue.capacity() * size_of::<usize>()
+    }
+}
+
+/// Raw base pointers over the SRS's source-sharded dense arrays plus the
+/// read-only shared state the transmit path consults. Captured once per
+/// cycle by [`Srs::shard_parts`]; each worker derives its disjoint
+/// [`SrsLane`] from these. Plain data — `Send`-ness is asserted by the
+/// shard context that carries it (`system::shard`).
+#[derive(Clone, Copy)]
+pub(crate) struct SrsShardParts {
+    channels: *mut OpticalChannel,
+    win_busy: *mut Cycle,
+    busy_open: *mut bool,
+    busy_start: *mut Cycle,
+    busy_cap: *mut Cycle,
+    pending_retune: *const Option<(RateLevel, Cycle)>,
+    owned: *const Vec<u16>,
+    failed_tx: *const (u16, u16),
+    failed_tx_len: usize,
+    boards: u16,
+    wavelengths: u16,
+}
+
+#[cfg(test)]
+impl SrsShardParts {
+    /// A zero-board parts bundle for gate-protocol tests that never
+    /// materialize a lane.
+    pub(crate) fn dangling() -> Self {
+        Self {
+            channels: std::ptr::NonNull::dangling().as_ptr(),
+            win_busy: std::ptr::NonNull::dangling().as_ptr(),
+            busy_open: std::ptr::NonNull::dangling().as_ptr(),
+            busy_start: std::ptr::NonNull::dangling().as_ptr(),
+            busy_cap: std::ptr::NonNull::dangling().as_ptr(),
+            pending_retune: std::ptr::NonNull::dangling().as_ptr(),
+            owned: std::ptr::NonNull::dangling().as_ptr(),
+            failed_tx: std::ptr::NonNull::dangling().as_ptr(),
+            failed_tx_len: 0,
+            boards: 0,
+            wavelengths: 0,
+        }
+    }
+}
+
+/// The publish-remote half of a lane's transmit work: everything
+/// [`Srs::try_transmit`] would have pushed into *shared* SRS state, buffered
+/// per source board during the compute phase and applied in canonical board
+/// order by [`Srs::commit_lane_effects`]. The mutate-local half (channel
+/// `begin_packet`, busy spans, window integrals) needs no buffering — it
+/// lives entirely inside the lane's array block.
+#[derive(Debug, Default)]
+pub(crate) struct LaneEffects {
+    /// `(serialization end, dense channel index)` wake-queue entries.
+    pub(crate) wakes: Vec<(Cycle, usize)>,
+    /// `(fiber arrival cycle, arrival)` pairs.
+    pub(crate) arrivals: Vec<(Cycle, Arrival)>,
+    /// Whether the lane lit a laser (invalidates the power cache).
+    pub(crate) power_dirty: bool,
+}
+
+impl LaneEffects {
+    pub(crate) fn clear(&mut self) {
+        self.wakes.clear();
+        self.arrivals.clear();
+        self.power_dirty = false;
+    }
+}
+
+/// One source board's mutable window into the SRS: the `B·W` contiguous
+/// block of channel/busy-span state that board `s` alone serializes onto,
+/// plus shared read-only views (ownership mirror, failed transmitters,
+/// pending retunes). [`SrsLane::try_transmit`] is [`Srs::try_transmit`]
+/// with the shared-queue pushes routed into a [`LaneEffects`] buffer.
+pub(crate) struct SrsLane<'a> {
+    s: u16,
+    wavelengths: u16,
+    /// Dense index of the lane's first channel (`s·B·W`).
+    base: usize,
+    channels: &'a mut [OpticalChannel],
+    win_busy: &'a mut [Cycle],
+    busy_open: &'a mut [bool],
+    busy_start: &'a mut [Cycle],
+    busy_cap: &'a mut [Cycle],
+    /// Lane slice of the pending-retune table (transmit only reads it).
+    pending_retune: &'a [Option<(RateLevel, Cycle)>],
+    /// The lane's `B` per-destination sorted owned-wavelength lists.
+    owned: &'a [Vec<u16>],
+    failed_tx: &'a [(u16, u16)],
+}
+
+impl<'a> SrsLane<'a> {
+    /// Materializes lane `s` from captured base pointers.
+    ///
+    /// # Safety
+    /// `parts` must come from a live [`Srs`] whose backing storage has not
+    /// been touched through `&mut Srs` since capture, and no other lane
+    /// view for the same `s` may exist for `'a`. Disjointness across
+    /// different `s` is guaranteed by the dense layout.
+    pub(crate) unsafe fn from_parts(parts: &SrsShardParts, s: u16) -> Self {
+        let b = parts.boards as usize;
+        let bw = b * parts.wavelengths as usize;
+        let base = s as usize * bw;
+        // SAFETY: each lane addresses its own `[base, base + bw)` block of
+        // the `B²·W`-sized arrays and the `[s·B, (s+1)·B)` block of the
+        // `B²`-sized flow table; the caller guarantees exclusivity.
+        unsafe {
+            Self {
+                s,
+                wavelengths: parts.wavelengths,
+                base,
+                channels: std::slice::from_raw_parts_mut(parts.channels.add(base), bw),
+                win_busy: std::slice::from_raw_parts_mut(parts.win_busy.add(base), bw),
+                busy_open: std::slice::from_raw_parts_mut(parts.busy_open.add(base), bw),
+                busy_start: std::slice::from_raw_parts_mut(parts.busy_start.add(base), bw),
+                busy_cap: std::slice::from_raw_parts_mut(parts.busy_cap.add(base), bw),
+                pending_retune: std::slice::from_raw_parts(parts.pending_retune.add(base), bw),
+                owned: std::slice::from_raw_parts(parts.owned.add(s as usize * b), b),
+                failed_tx: std::slice::from_raw_parts(parts.failed_tx, parts.failed_tx_len),
+            }
+        }
+    }
+
+    /// Lane-local dense index of `(d, w)` — [`Srs::idx`] minus `base`.
+    fn li(&self, d: u16, w: u16) -> usize {
+        d as usize * self.wavelengths as usize + w as usize
+    }
+
+    /// Lane-local mirror of [`Srs::close_busy`].
+    fn close_busy(&mut self, li: usize, at: Cycle) {
+        if !self.busy_open[li] {
+            return;
+        }
+        let end = self.busy_cap[li].min(at);
+        if end > self.busy_start[li] {
+            self.win_busy[li] += end - self.busy_start[li];
+        }
+        self.busy_open[li] = false;
+    }
+
+    /// [`Srs::try_transmit`] over the lane view: identical scan order,
+    /// identical channel mutations, with the wake/arrival inserts and the
+    /// power-cache invalidation deferred into `fx`. Returns whether the
+    /// packet departed.
+    pub(crate) fn try_transmit(
+        &mut self,
+        now: Cycle,
+        d: u16,
+        packet: ReadyPacket,
+        fx: &mut LaneEffects,
+    ) -> bool {
+        if self.failed_tx.contains(&(self.s, d)) {
+            return false;
+        }
+        // Scan only owned wavelengths; ascending order matches the legacy
+        // full `0..W` scan over the ownership map.
+        let flow = d as usize;
+        let mut chosen = None;
+        for k in 0..self.owned[flow].len() {
+            let w = self.owned[flow][k];
+            let li = self.li(d, w);
+            // A channel with a pending retune must not start a packet:
+            // the retune would never get a free window under load.
+            if self.channels[li].can_send(now) && self.pending_retune[li].is_none() {
+                chosen = Some(w);
+                break;
+            }
+        }
+        let Some(w) = chosen else {
+            return false;
+        };
+        let li = self.li(d, w);
+        // Back-to-back reuse exactly at the previous packet's end: its
+        // wake entry has not fired yet, so close its span here first.
+        if self.busy_open[li] {
+            debug_assert!(self.busy_cap[li] <= now, "span open past serialization");
+            let cap = self.busy_cap[li];
+            self.close_busy(li, cap);
+        }
+        let arrive_at = self.channels[li].begin_packet(now, packet.flits as u32);
+        let Some(until) = self.channels[li].sending_until() else {
+            unreachable!("begin_packet leaves the channel Sending")
+        };
+        fx.wakes.push((until, self.base + li));
+        self.busy_open[li] = true;
+        self.busy_start[li] = now;
+        self.busy_cap[li] = until;
+        fx.power_dirty = true;
+        fx.arrivals.push((
+            arrive_at,
+            Arrival {
+                dst_board: d,
+                wavelength: w,
+                src_board: self.s,
+                packet,
+            },
+        ));
+        true
     }
 }
 

@@ -367,6 +367,117 @@ impl System {
         self.now
     }
 
+    /// As [`System::run`], but with the per-cycle hot path (router steps +
+    /// lane transmits) sharded across boards onto up to `point_threads`
+    /// worker threads (clamped to the board count; `1` falls back to the
+    /// plain sequential loop). The run is **byte-identical** to
+    /// [`System::run`] for any worker count: the compute phase only
+    /// touches disjoint per-board/per-lane state, and the commit phase
+    /// replays every shared side effect in the sequential engine's exact
+    /// order (see `crate::shard` and DESIGN.md §12).
+    pub fn run_sharded(&mut self, point_threads: std::num::NonZeroUsize) -> Cycle {
+        let workers = point_threads.get().min(self.cfg.boards as usize);
+        if workers <= 1 {
+            return self.run();
+        }
+        let plan = self.metrics.plan;
+        let mut outs: Vec<crate::shard::BoardOut> = (0..self.cfg.boards as usize)
+            .map(|_| crate::shard::BoardOut::default())
+            .collect();
+        let gate = crate::shard::Gate::new();
+        std::thread::scope(|scope| {
+            // The calling thread participates, so spawn `workers - 1`.
+            for _ in 1..workers {
+                let gate = &gate;
+                scope.spawn(move || crate::shard::worker(gate));
+            }
+            while self.now < plan.max_cycles && !self.metrics.tracker.complete(&plan, self.now) {
+                self.step_sharded(&gate, &mut outs);
+            }
+            gate.halt();
+        });
+        self.now
+    }
+
+    /// One cycle of the sharded engine: the sequential prologue
+    /// (faults/windows/DBR/LS/injection) and epilogue (receive, SRS tick,
+    /// power record) are exactly [`System::step_inner`]'s; in between, the
+    /// board loop runs as a parallel compute phase into per-board
+    /// out-buffers, followed by an in-order commit.
+    fn step_sharded(&mut self, gate: &crate::shard::Gate, outs: &mut [crate::shard::BoardOut]) {
+        let now = self.now;
+        self.apply_due_faults(now);
+        self.window_boundary(now);
+        self.apply_due_dbr(now);
+        self.tick_active_round(now);
+        self.inject(now);
+        // Compute phase: fresh disjoint views over the boards and SRS
+        // lanes, published to the workers for this cycle only. `self` is
+        // untouched until `run_epoch` returns (the commit barrier).
+        let ctx = crate::shard::ShardCtx {
+            now,
+            boards: self.boards.as_mut_ptr(),
+            outs: outs.as_mut_ptr(),
+            nboards: outs.len(),
+            srs: self.srs.shard_parts(),
+        };
+        gate.run_epoch(ctx);
+        self.commit_sharded(now, outs);
+        self.receive(now);
+        self.srs.tick_traced(now, &mut self.tracer);
+        let mw = self.srs.record_cycle();
+        if self.metrics.measuring(now) {
+            self.metrics.power.record(mw);
+        }
+        self.now += 1;
+    }
+
+    /// Applies the out-buffers in canonical (ascending) board order, in
+    /// two passes replaying the sequential engine's side-effect sequence
+    /// exactly: pass A is `step_boards`' per-delivery metric/telemetry
+    /// updates for board 0, 1, …; pass B is `transmit`'s wake/arrival
+    /// heap inserts, power-cache invalidation and labelled TX stats, again
+    /// board-ascending. Identical push order on every f64 accumulator and
+    /// identical heap insertion sequence ⇒ bit-identical results.
+    fn commit_sharded(&mut self, now: Cycle, outs: &mut [crate::shard::BoardOut]) {
+        for out in outs.iter() {
+            for d in &out.delivered {
+                self.metrics.delivered_total += 1;
+                if self.metrics.measuring(now) {
+                    self.metrics
+                        .throughput
+                        .deliver(now, self.cfg.packet_flits as u32);
+                }
+                if d.labelled {
+                    self.metrics.tracker.deliver_labelled();
+                    self.metrics.latency.record(d.injected_at, now);
+                    if let Some((reg, ids)) = &mut self.registry {
+                        reg.observe(ids.latency_hist, (now - d.injected_at) as f64);
+                    }
+                }
+                if let Some(log) = &mut self.packet_log {
+                    log.push(PacketDelivery {
+                        id: d.id.0,
+                        dst: d.dst,
+                        injected_at: d.injected_at,
+                        delivered_at: now,
+                        labelled: d.labelled,
+                    });
+                }
+            }
+        }
+        for out in outs.iter() {
+            self.srs.commit_lane_effects(&out.fx);
+            for &(src_path, tx_wait) in &out.tx_labelled {
+                self.metrics.src_path.push(src_path);
+                self.metrics.tx_wait.push(tx_wait);
+                if let Some((reg, ids)) = &mut self.registry {
+                    reg.observe(ids.tx_wait_hist, tx_wait);
+                }
+            }
+        }
+    }
+
     /// Coarse heap-footprint estimate in bytes of the live simulation
     /// state: boards (routers, TX queues) plus the optical stage's channel
     /// bank. Analytic capacity × element-size sums — comparable across

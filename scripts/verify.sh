@@ -20,6 +20,13 @@ cargo build --release --workspace
 echo "== cargo test -q =="
 cargo test -q --workspace
 
+echo "== determinism suite under board sharding (2 and 8 point workers) =="
+# The sharded cycle engine (DESIGN.md §12) must stay byte-identical to the
+# sequential one at any worker count — rerun the determinism suite with the
+# env knob forcing every sharded code path through 2 and then 8 workers.
+ERAPID_POINT_THREADS=2 cargo test -q --release --test determinism
+ERAPID_POINT_THREADS=8 cargo test -q --release --test determinism
+
 echo "== perf smoke (reduced grid vs committed BENCH baseline) =="
 if [ "${ERAPID_SKIP_PERF_SMOKE:-0}" = "1" ]; then
     echo "perf smoke: skipped (ERAPID_SKIP_PERF_SMOKE=1)"

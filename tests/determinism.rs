@@ -261,6 +261,104 @@ fn board_step_buffer_reuse_conserves_deliveries() {
 }
 
 #[test]
+fn sharded_run_identical_to_sequential_across_worker_counts() {
+    // The board-sharded engine must be invisible in every observable:
+    // RunResult (all f64s bit-compared via PartialEq), the telemetry
+    // event stream, the per-window metric snapshots and the per-packet
+    // delivery log, for any worker count (including more workers than
+    // boards and more workers than cores).
+    use erapid_suite::erapid_core::experiment::{run_once_traced, run_once_traced_sharded};
+    use erapid_suite::erapid_telemetry::TraceConfig;
+    use std::num::NonZeroUsize;
+    for mode in NetworkMode::all() {
+        let mk = || {
+            let mut cfg = SystemConfig::small(mode);
+            cfg.seed = 23;
+            cfg.packet_log = true;
+            cfg.trace = TraceConfig::with_capacity(1 << 18);
+            cfg
+        };
+        let (seq, seq_trace) = run_once_traced(mk(), TrafficPattern::Complement, 0.6, plan());
+        for workers in [2usize, 4, 8] {
+            let (shard, shard_trace) = run_once_traced_sharded(
+                mk(),
+                TrafficPattern::Complement,
+                0.6,
+                plan(),
+                NonZeroUsize::new(workers).unwrap(),
+            );
+            assert_eq!(
+                seq, shard,
+                "mode {mode:?}: RunResult diverged at {workers} workers"
+            );
+            assert_eq!(
+                seq_trace.records, shard_trace.records,
+                "mode {mode:?}: telemetry event stream diverged at {workers} workers"
+            );
+            assert_eq!(
+                seq_trace.windows, shard_trace.windows,
+                "mode {mode:?}: metric windows diverged at {workers} workers"
+            );
+            assert_eq!(
+                seq_trace.packets, shard_trace.packets,
+                "mode {mode:?}: packet log diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_run_identical_under_faults() {
+    // Fault application stays a sequential phase, so a scheduled outage /
+    // relock storm must not open any worker-count dependence.
+    use erapid_suite::erapid_core::experiment::{run_once, run_once_sharded};
+    use erapid_suite::erapid_core::faults::FaultPlan;
+    use std::num::NonZeroUsize;
+    for mode in [NetworkMode::NpB, NetworkMode::PB] {
+        let mk = || {
+            let mut cfg = SystemConfig::small(mode);
+            cfg.seed = 17;
+            cfg.faults = FaultPlan::relock_storm(9, cfg.boards, 2500, 5500, 6, 300)
+                .receiver_outage(3, 1, 3000, 6000);
+            cfg
+        };
+        let seq = run_once(mk(), TrafficPattern::Complement, 0.5, plan());
+        for workers in [2usize, 8] {
+            let shard = run_once_sharded(
+                mk(),
+                TrafficPattern::Complement,
+                0.5,
+                plan(),
+                NonZeroUsize::new(workers).unwrap(),
+            );
+            assert_eq!(
+                seq, shard,
+                "mode {mode:?}: faulted run diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_run_identical_at_env_point_workers() {
+    // `verify.sh` reruns this suite with ERAPID_POINT_THREADS=2 and =8;
+    // this test picks the knob up so the whole determinism file exercises
+    // the sharded engine at the CI-chosen worker counts. Without the env
+    // var it degenerates to the (still asserted) 1-worker fallback path.
+    use erapid_suite::erapid_core::experiment::{run_once, run_once_sharded};
+    use erapid_suite::erapid_core::runner::point_threads_from_env;
+    let workers = point_threads_from_env();
+    let mk = || {
+        let mut cfg = SystemConfig::small(NetworkMode::PB);
+        cfg.seed = 29;
+        cfg
+    };
+    let seq = run_once(mk(), TrafficPattern::Uniform, 0.4, plan());
+    let shard = run_once_sharded(mk(), TrafficPattern::Uniform, 0.4, plan(), workers);
+    assert_eq!(seq, shard, "sharded run diverged at {workers} workers");
+}
+
+#[test]
 fn run_end_is_monotone_in_load() {
     // Saturated runs take longer to drain; the run loop must still
     // terminate thanks to the max_cycles cap.
