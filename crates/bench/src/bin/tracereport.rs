@@ -214,4 +214,24 @@ fn main() {
         ),
         Err(e) => eprintln!("could not write {}: {e}", chrome.display()),
     }
+
+    // A dropped event is a silently incomplete trace — every downstream
+    // artifact (JSONL, Chrome trace, window tables) would be missing
+    // data without saying so. Surface it loudly and fail the run.
+    let dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+    if dropped > 0 {
+        for (load, trace) in loads.iter().zip(&traces) {
+            if trace.dropped > 0 {
+                eprintln!(
+                    "ERROR: load {load}: {} trace events dropped (ring capacity exceeded)",
+                    trace.dropped
+                );
+            }
+        }
+        eprintln!(
+            "ERROR: {dropped} events dropped total — raise TraceConfig capacity or stream the trace (see marathon)"
+        );
+        std::process::exit(1);
+    }
+    println!("dropped events: 0 across all points");
 }

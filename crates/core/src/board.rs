@@ -235,6 +235,76 @@ impl Board {
             + self.tx_ready.capacity() * size_of::<u16>()
     }
 
+    /// Serializes the full mutable board state: router, injectors, TX
+    /// queues, occupancy integrals, active sets and pending credits.
+    /// Geometry (port counts, capacities, route table) is config-derived.
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        w.tag(b"BRDS");
+        self.router.save_state(w);
+        w.usize(self.node_inj.len());
+        for inj in &self.node_inj {
+            inj.save_state(w);
+        }
+        w.usize(self.rx_inj.len());
+        for inj in &self.rx_inj {
+            inj.save_state(w);
+        }
+        w.usize(self.tx.len());
+        for q in &self.tx {
+            q.save_state(w);
+        }
+        w.usize(self.buffer_util.len());
+        for u in &self.buffer_util {
+            u.save(w);
+        }
+        w.u32(self.inflight);
+        self.tx_ready.save(w);
+        w.usize(self.node_credits.len());
+        for (port, vc) in &self.node_credits {
+            w.u16(port.0);
+            w.u8(*vc);
+        }
+    }
+
+    /// Overlays checkpointed board state onto a freshly built board with
+    /// identical geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::Snap;
+        r.tag(b"BRDS")?;
+        self.router.load_state(r)?;
+        r.len_eq(self.node_inj.len(), "board node injectors")?;
+        for inj in &mut self.node_inj {
+            inj.load_state(r)?;
+        }
+        r.len_eq(self.rx_inj.len(), "board RX injectors")?;
+        for inj in &mut self.rx_inj {
+            inj.load_state(r)?;
+        }
+        r.len_eq(self.tx.len(), "board TX queues")?;
+        for q in &mut self.tx {
+            q.load_state(r)?;
+        }
+        r.len_eq(self.buffer_util.len(), "board occupancy integrals")?;
+        for u in &mut self.buffer_util {
+            *u = OccupancyIntegral::load(r)?;
+        }
+        self.inflight = r.u32()?;
+        self.tx_ready = Snap::load(r)?;
+        let n = r.len_at_most(1 << 20, "board pending node credits")?;
+        let mut credits = Vec::with_capacity(n);
+        for _ in 0..n {
+            let port = PortId(r.u16()?);
+            let vc = r.u8()?;
+            credits.push((port, vc));
+        }
+        self.node_credits = credits;
+        Ok(())
+    }
+
     /// Whether the board is completely idle (no queued or in-flight flits).
     pub fn is_idle(&self) -> bool {
         self.router.buffered_flits() == 0

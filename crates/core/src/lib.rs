@@ -69,6 +69,7 @@
 //! ```
 
 pub mod board;
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod experiment;
@@ -78,9 +79,11 @@ pub mod metrics;
 pub mod runner;
 pub(crate) mod shard;
 pub mod srs;
+pub mod stream;
 pub mod system;
 pub mod txqueue;
 
+pub use checkpoint::{latest_valid, restore_system, Checkpointer};
 pub use config::{NetworkMode, SystemConfig};
 pub use error::ErapidError;
 pub use experiment::{
@@ -96,4 +99,5 @@ pub use runner::{
     run_points_sharded, run_points_timed, run_points_timed_sharded, run_points_traced,
     run_points_traced_sharded, RunPoint,
 };
-pub use system::{PhaseTimers, System};
+pub use stream::{StreamCursor, StreamPaths, StreamSink};
+pub use system::{PhaseTimers, System, WindowFlush};

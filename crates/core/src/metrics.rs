@@ -48,6 +48,58 @@ pub struct RunMetrics {
     pub tx_wait: Running,
 }
 
+impl desim::snap::Snap for PacketDelivery {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.u64(self.id);
+        w.u32(self.dst);
+        w.u64(self.injected_at);
+        w.u64(self.delivered_at);
+        w.bool(self.labelled);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        Ok(Self {
+            id: r.u64()?,
+            dst: r.u32()?,
+            injected_at: r.u64()?,
+            delivered_at: r.u64()?,
+            labelled: r.bool()?,
+        })
+    }
+}
+
+impl RunMetrics {
+    /// Serializes all accumulators and counters (the phase plan is
+    /// config-derived and not persisted).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        self.throughput.save(w);
+        self.latency.save(w);
+        self.power.save(w);
+        self.tracker.save(w);
+        w.u64(self.injected_total);
+        w.u64(self.delivered_total);
+        self.src_path.save(w);
+        self.tx_wait.save(w);
+    }
+
+    /// Overlays checkpointed metric accumulators.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::Snap;
+        self.throughput = ThroughputMeter::load(r)?;
+        self.latency = LatencyMeter::load(r)?;
+        self.power = PowerMeter::load(r)?;
+        self.tracker = PhaseTracker::load(r)?;
+        self.injected_total = r.u64()?;
+        self.delivered_total = r.u64()?;
+        self.src_path = Running::load(r)?;
+        self.tx_wait = Running::load(r)?;
+        Ok(())
+    }
+}
+
 impl RunMetrics {
     /// Creates metrics for a network of `nodes` nodes under `plan`.
     pub fn new(nodes: usize, plan: PhasePlan) -> Self {

@@ -39,6 +39,36 @@ struct PendingGrant {
     donor_dark: bool,
 }
 
+impl desim::snap::Snap for Arrival {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.u16(self.dst_board);
+        w.u16(self.wavelength);
+        w.u16(self.src_board);
+        self.packet.save(w);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        Ok(Self {
+            dst_board: r.u16()?,
+            wavelength: r.u16()?,
+            src_board: r.u16()?,
+            packet: ReadyPacket::load(r)?,
+        })
+    }
+}
+
+impl desim::snap::Snap for PendingGrant {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        self.grant.save(w);
+        w.bool(self.donor_dark);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        Ok(Self {
+            grant: WavelengthGrant::load(r)?,
+            donor_dark: r.bool()?,
+        })
+    }
+}
+
 /// The optical stage.
 pub struct Srs {
     boards: u16,
@@ -918,6 +948,151 @@ impl Srs {
     /// Wavelength count.
     pub fn wavelengths(&self) -> u16 {
         self.wavelengths
+    }
+
+    /// Serializes the full mutable optical-stage state: ownership map,
+    /// channel bank, busy spans, wake/arrival queues, pending DPM/DBR/CDR
+    /// work, fault sets and lifetime counters. Geometry (board count,
+    /// ladder, power model, RWA, penalties) is config-derived. The `owned`
+    /// mirror is rebuilt from `owner` on load rather than persisted.
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        w.tag(b"SRSS");
+        w.usize(self.owner.len());
+        for row in &self.owner {
+            row.save(w);
+        }
+        w.usize(self.channels.len());
+        for c in &self.channels {
+            c.save_state(w);
+        }
+        self.link_prev.save(w);
+        self.win_busy.save(w);
+        self.busy_open.save(w);
+        self.busy_start.save(w);
+        self.busy_cap.save(w);
+        self.wake.save_state(w);
+        self.retune_queue.save(w);
+        self.relock_queue.save(w);
+        w.bool(self.power_dirty);
+        w.f64(self.power_cache);
+        self.arrivals.save_state(w);
+        self.pending_grants.save(w);
+        self.pending_retune.save(w);
+        self.failed.save(w);
+        self.failed_tx.save(w);
+        self.stuck_lc.save(w);
+        self.pending_relock.save(w);
+        w.u64(self.grants_applied);
+        w.u64(self.retunes_applied);
+        w.u64(self.relocks_applied);
+    }
+
+    /// Overlays checkpointed optical-stage state onto a freshly built SRS
+    /// with identical geometry.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::{Snap, SnapError};
+        r.tag(b"SRSS")?;
+        r.len_eq(self.owner.len(), "SRS ownership rows")?;
+        let mut owner: Vec<Vec<Option<u16>>> = Vec::with_capacity(self.owner.len());
+        for _ in 0..self.owner.len() {
+            let row: Vec<Option<u16>> = Snap::load(r)?;
+            if row.len() != self.wavelengths as usize {
+                return Err(SnapError::Mismatch(format!(
+                    "SRS ownership row: expected {} wavelengths, snapshot has {}",
+                    self.wavelengths,
+                    row.len()
+                )));
+            }
+            if let Some(s) = row.iter().flatten().find(|&&s| s >= self.boards) {
+                return Err(SnapError::Format(format!(
+                    "SRS snapshot names board {s} but the system has {}",
+                    self.boards
+                )));
+            }
+            owner.push(row);
+        }
+        r.len_eq(self.channels.len(), "SRS channel bank")?;
+        for c in &mut self.channels {
+            c.load_state(r)?;
+        }
+        let link_prev: Vec<f64> = Snap::load(r)?;
+        let n = self.channels.len();
+        let check = |len: usize, what: &str| {
+            if len == n {
+                Ok(())
+            } else {
+                Err(SnapError::Mismatch(format!(
+                    "{what}: expected {n} entries, snapshot has {len}"
+                )))
+            }
+        };
+        check(link_prev.len(), "SRS link_prev")?;
+        let win_busy: Vec<Cycle> = Snap::load(r)?;
+        check(win_busy.len(), "SRS win_busy")?;
+        let busy_open: Vec<bool> = Snap::load(r)?;
+        check(busy_open.len(), "SRS busy_open")?;
+        let busy_start: Vec<Cycle> = Snap::load(r)?;
+        check(busy_start.len(), "SRS busy_start")?;
+        let busy_cap: Vec<Cycle> = Snap::load(r)?;
+        check(busy_cap.len(), "SRS busy_cap")?;
+        self.wake.load_state(r)?;
+        let retune_queue: Vec<usize> = Snap::load(r)?;
+        let relock_queue: Vec<usize> = Snap::load(r)?;
+        if let Some(&i) = retune_queue.iter().chain(&relock_queue).find(|&&i| i >= n) {
+            return Err(SnapError::Format(format!(
+                "SRS work queue names channel {i} of {n}"
+            )));
+        }
+        let power_dirty = r.bool()?;
+        let power_cache = r.f64()?;
+        self.arrivals.load_state(r)?;
+        let pending_grants: Vec<PendingGrant> = Snap::load(r)?;
+        let pending_retune: Vec<Option<(RateLevel, Cycle)>> = Snap::load(r)?;
+        check(pending_retune.len(), "SRS pending retunes")?;
+        let failed: Vec<(u16, u16)> = Snap::load(r)?;
+        let failed_tx: Vec<(u16, u16)> = Snap::load(r)?;
+        let stuck_lc: Vec<bool> = Snap::load(r)?;
+        check(stuck_lc.len(), "SRS stuck LCs")?;
+        let pending_relock: Vec<Option<Cycle>> = Snap::load(r)?;
+        check(pending_relock.len(), "SRS pending relocks")?;
+        self.grants_applied = r.u64()?;
+        self.retunes_applied = r.u64()?;
+        self.relocks_applied = r.u64()?;
+        // Rebuild the per-flow sorted mirror from the ownership map. The
+        // `d` outer / `w` inner scan appends each flow's wavelengths in
+        // ascending order, matching the `set_owner` insertion discipline.
+        for f in &mut self.owned {
+            f.clear();
+        }
+        for d in 0..self.boards {
+            for w in 0..self.wavelengths {
+                if let Some(s) = owner[d as usize][w as usize] {
+                    let f = self.flow(s, d);
+                    self.owned[f].push(w);
+                }
+            }
+        }
+        self.owner = owner;
+        self.link_prev = link_prev;
+        self.win_busy = win_busy;
+        self.busy_open = busy_open;
+        self.busy_start = busy_start;
+        self.busy_cap = busy_cap;
+        self.retune_queue = retune_queue;
+        self.relock_queue = relock_queue;
+        self.power_dirty = power_dirty;
+        self.power_cache = power_cache;
+        self.pending_grants = pending_grants;
+        self.pending_retune = pending_retune;
+        self.failed = failed;
+        self.failed_tx = failed_tx;
+        self.stuck_lc = stuck_lc;
+        self.pending_relock = pending_relock;
+        Ok(())
     }
 
     /// Coarse heap-footprint estimate in bytes. The channel bank and its

@@ -1207,6 +1207,245 @@ impl System {
     pub fn mode(&self) -> NetworkMode {
         self.cfg.mode
     }
+
+    /// True when the system is at a state a checkpoint can capture: no
+    /// message-level DBR round in flight. Rounds launch at `R_w`
+    /// boundaries and complete well within a window, so boundary-cadence
+    /// checkpointing observes this as always-true in practice; a
+    /// conservative caller ([`crate::checkpoint::Checkpointer`]) skips the
+    /// boundary and retries at the next one if it is not.
+    pub fn can_checkpoint(&self) -> bool {
+        self.active_round.is_none()
+    }
+
+    /// Serializes the full mutable simulation state (boards, SRS,
+    /// generators, logs, metrics, control plane, telemetry). Config-derived
+    /// geometry is *not* written — restore overlays a freshly-constructed
+    /// identical system. Fails if a message-level DBR round is in flight
+    /// (see [`Self::can_checkpoint`]); in-flight rounds borrow stage state
+    /// that is not worth freezing when the next boundary is at most one
+    /// window away.
+    pub fn save_state(
+        &self,
+        w: &mut desim::snap::SnapWriter,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::{Snap, SnapError};
+        if self.active_round.is_some() {
+            return Err(SnapError::Mismatch(
+                "checkpoint requested mid-DBR-round; wait for quiescence".into(),
+            ));
+        }
+        w.tag(b"SYSS");
+        w.u64(self.now);
+        w.u64(self.next_packet_id);
+        w.u64(self.window_index);
+        w.u64(self.dbr_rounds);
+        w.u64(self.ls_retries);
+        w.u64(self.ls_aborted);
+        w.u64(self.armed_analytic_delay);
+        w.usize(self.fault_cursor);
+        w.usize(self.boards.len());
+        for b in &self.boards {
+            b.save_state(w);
+        }
+        self.srs.save_state(w);
+        w.usize(self.generators.len());
+        for g in &self.generators {
+            g.save_state(w);
+        }
+        w.bool(self.replay.is_some());
+        if let Some(rp) = &self.replay {
+            rp.save_state(w);
+        }
+        w.bool(self.injection_log.is_some());
+        if let Some(log) = &self.injection_log {
+            log.save_state(w);
+        }
+        w.bool(self.packet_log.is_some());
+        if let Some(log) = &self.packet_log {
+            log.save(w);
+        }
+        self.metrics.save_state(w);
+        self.pending_dbr.save(w);
+        self.armed_token.save(w);
+        self.tracer.save_state(w);
+        w.bool(self.registry.is_some());
+        if let Some((reg, _)) = &self.registry {
+            reg.save_state(w);
+        }
+        w.usize(self.buffer_watch.len());
+        for watch in &self.buffer_watch {
+            watch.save_state(w);
+        }
+        self.watch_pending.save(w);
+        Ok(())
+    }
+
+    /// Overlays a checkpointed state onto a freshly-constructed system
+    /// built from the *same* config (and, under replay, the same trace).
+    /// Geometry mismatches (board count, channel bank shape, presence of
+    /// replay/logs/telemetry) are typed [`desim::snap::SnapError::Mismatch`]
+    /// errors, never panics.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::{Snap, SnapError};
+        fn presence(got: bool, have: bool, what: &str) -> Result<(), SnapError> {
+            if got != have {
+                return Err(SnapError::Mismatch(format!(
+                    "snapshot {} {what} but this system {}",
+                    if got { "has" } else { "lacks" },
+                    if have { "has one" } else { "does not" },
+                )));
+            }
+            Ok(())
+        }
+        r.tag(b"SYSS")?;
+        let now = r.u64()?;
+        let next_packet_id = r.u64()?;
+        let window_index = r.u64()?;
+        let dbr_rounds = r.u64()?;
+        let ls_retries = r.u64()?;
+        let ls_aborted = r.u64()?;
+        let armed_analytic_delay = r.u64()?;
+        let fault_cursor = r.usize()?;
+        if fault_cursor > self.cfg.faults.len() {
+            return Err(SnapError::Format(
+                "fault cursor beyond this config's fault plan".into(),
+            ));
+        }
+        r.len_eq(self.boards.len(), "system boards")?;
+        for b in &mut self.boards {
+            b.load_state(r)?;
+        }
+        self.srs.load_state(r)?;
+        r.len_eq(self.generators.len(), "node generators")?;
+        for g in &mut self.generators {
+            g.load_state(r)?;
+        }
+        presence(r.bool()?, self.replay.is_some(), "a replay source")?;
+        if let Some(rp) = &mut self.replay {
+            rp.load_state(r)?;
+        }
+        presence(r.bool()?, self.injection_log.is_some(), "an injection log")?;
+        if let Some(log) = &mut self.injection_log {
+            log.load_state(r)?;
+        }
+        presence(r.bool()?, self.packet_log.is_some(), "a packet log")?;
+        if self.packet_log.is_some() {
+            self.packet_log = Some(Snap::load(r)?);
+        }
+        self.metrics.load_state(r)?;
+        self.pending_dbr = Snap::load(r)?;
+        self.armed_token = Snap::load(r)?;
+        self.tracer.load_state(r)?;
+        presence(r.bool()?, self.registry.is_some(), "a metric registry")?;
+        if let Some((reg, _)) = &mut self.registry {
+            reg.load_state(r)?;
+        }
+        r.len_eq(self.buffer_watch.len(), "buffer watches")?;
+        for watch in &mut self.buffer_watch {
+            watch.load_state(r)?;
+        }
+        let watch_pending: Vec<bool> = Snap::load(r)?;
+        if watch_pending.len() != self.watch_pending.len() {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot has {} watch-pending flags, this system has {}",
+                watch_pending.len(),
+                self.watch_pending.len()
+            )));
+        }
+        self.now = now;
+        self.next_packet_id = next_packet_id;
+        self.window_index = window_index;
+        self.dbr_rounds = dbr_rounds;
+        self.ls_retries = ls_retries;
+        self.ls_aborted = ls_aborted;
+        self.armed_analytic_delay = armed_analytic_delay;
+        self.fault_cursor = fault_cursor;
+        self.watch_pending = watch_pending;
+        self.active_round = None;
+        Ok(())
+    }
+
+    /// As [`Self::run`]/[`Self::run_sharded`], invoking `hook` at the top
+    /// of every cycle *before* the cycle executes. The hook observes the
+    /// system exactly as the cycle will (same `now`, pre-boundary state),
+    /// which is what checkpointing and streaming export need: a hook at
+    /// cycle `t = k·R_w` captures the state an uninterrupted run has when
+    /// entering that boundary cycle. The trajectory is byte-identical to
+    /// the unhooked engines for any worker count.
+    pub fn run_with<F: FnMut(&mut System)>(
+        &mut self,
+        point_threads: std::num::NonZeroUsize,
+        hook: &mut F,
+    ) -> Cycle {
+        let workers = point_threads.get().min(self.cfg.boards as usize);
+        let plan = self.metrics.plan;
+        if workers <= 1 {
+            while self.now < plan.max_cycles && !self.metrics.tracker.complete(&plan, self.now) {
+                hook(self);
+                self.step();
+            }
+            return self.now;
+        }
+        let mut outs: Vec<crate::shard::BoardOut> = (0..self.cfg.boards as usize)
+            .map(|_| crate::shard::BoardOut::default())
+            .collect();
+        let gate = crate::shard::Gate::new();
+        std::thread::scope(|scope| {
+            for _ in 1..workers {
+                let gate = &gate;
+                scope.spawn(move || crate::shard::worker(gate));
+            }
+            while self.now < plan.max_cycles && !self.metrics.tracker.complete(&plan, self.now) {
+                hook(self);
+                self.step_sharded(&gate, &mut outs);
+            }
+            gate.halt();
+        });
+        self.now
+    }
+
+    /// Drains one window's worth of streamable output: recorded trace
+    /// events, per-window metric rows, and the packet-delivery log. With a
+    /// boundary-cadence caller this bounds all three in-memory buffers to
+    /// one window of data — the core of the long-horizon streaming mode.
+    pub fn drain_window(&mut self) -> WindowFlush {
+        let packets = match &mut self.packet_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        };
+        // Drained every window, the log can never exceed one window of
+        // deliveries: at most one flit ejects per node per cycle, so
+        // deliveries per window ≤ nodes × R_w / packet_flits.
+        debug_assert!(
+            packets.len()
+                <= (self.cfg.boards as usize * self.cfg.nodes_per_board as usize)
+                    * (self.cfg.schedule.window as usize)
+                    / (self.cfg.packet_flits as usize).max(1),
+            "packet log exceeded one window of deliveries"
+        );
+        WindowFlush {
+            records: self.tracer.take_records(),
+            windows: self.take_metric_windows(),
+            packets,
+        }
+    }
+}
+
+/// One window's worth of streamed output, drained at an `R_w` boundary by
+/// [`System::drain_window`].
+#[derive(Debug, Default)]
+pub struct WindowFlush {
+    /// Trace events recorded since the previous drain (empty when tracing
+    /// is off).
+    pub records: Vec<TraceRecord>,
+    /// Per-window metric rows rolled since the previous drain.
+    pub windows: Vec<WindowSnapshot>,
+    /// Packet deliveries logged since the previous drain.
+    pub packets: Vec<PacketDelivery>,
 }
 
 /// Adapter running a [`System`] as a [`desim::clocked::Clocked`] component,

@@ -154,6 +154,76 @@ impl TransmitQueue {
         self.packets_departed += 1;
         Some(pkt)
     }
+
+    /// Serializes occupancy, in-flight reassembly, the ready queue and
+    /// lifetime counters (capacity is config-derived).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        w.u32(self.flits_held);
+        w.usize(self.assembling.len());
+        for (id, got, pkt) in &self.assembling {
+            w.u64(id.0);
+            w.u16(*got);
+            pkt.save(w);
+        }
+        self.ready.save(w);
+        w.u64(self.packets_completed);
+        w.u64(self.packets_departed);
+    }
+
+    /// Overlays checkpointed queue state; occupancy must fit capacity.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::{Snap, SnapError};
+        let flits_held = r.u32()?;
+        if flits_held > self.capacity_flits {
+            return Err(SnapError::Mismatch(format!(
+                "TX queue snapshot holds {flits_held} flits but capacity is {}",
+                self.capacity_flits
+            )));
+        }
+        let n = r.len_at_most(1 << 20, "TX assembling entries")?;
+        let mut assembling = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = PacketId(r.u64()?);
+            let got = r.u16()?;
+            let pkt = ReadyPacket::load(r)?;
+            assembling.push((id, got, pkt));
+        }
+        self.flits_held = flits_held;
+        self.assembling = assembling;
+        self.ready = Snap::load(r)?;
+        self.packets_completed = r.u64()?;
+        self.packets_departed = r.u64()?;
+        Ok(())
+    }
+}
+
+impl desim::snap::Snap for ReadyPacket {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.u64(self.id.0);
+        w.u32(self.src);
+        w.u32(self.dst);
+        w.u64(self.injected_at);
+        w.bool(self.labelled);
+        w.u16(self.flits);
+        w.u8(self.vc);
+        w.u64(self.completed_at);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        Ok(Self {
+            id: PacketId(r.u64()?),
+            src: r.u32()?,
+            dst: r.u32()?,
+            injected_at: r.u64()?,
+            labelled: r.bool()?,
+            flits: r.u16()?,
+            vc: r.u8()?,
+            completed_at: r.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

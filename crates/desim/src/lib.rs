@@ -18,7 +18,9 @@
 //!   warmed up under load without taking measurements until steady state was
 //!   reached ... a sample of injected packets were labelled during a
 //!   measurement interval"),
-//! * a bounded event trace for debugging ([`trace`]).
+//! * a bounded event trace for debugging ([`trace`]),
+//! * a checksummed binary snapshot substrate for checkpoint/restore of
+//!   long-horizon runs ([`snap`]).
 //!
 //! The whole engine is single-threaded on purpose: cycle-accurate network
 //! simulation at the paper's scale (64 nodes) is dominated by event ordering
@@ -46,6 +48,8 @@ pub mod process;
 pub mod queue;
 pub mod rng;
 pub mod sim;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod snap;
 pub mod trace;
 
 /// Simulation time, measured in router clock cycles.

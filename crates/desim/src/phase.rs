@@ -117,6 +117,26 @@ impl PhaseTracker {
     }
 }
 
+impl crate::snap::Snap for PhaseTracker {
+    fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.labelled_injected);
+        w.u64(self.labelled_delivered);
+    }
+    fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let labelled_injected = r.u64()?;
+        let labelled_delivered = r.u64()?;
+        if labelled_delivered > labelled_injected {
+            return Err(crate::snap::SnapError::Format(
+                "more labelled deliveries than injections".to_string(),
+            ));
+        }
+        Ok(Self {
+            labelled_injected,
+            labelled_delivered,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

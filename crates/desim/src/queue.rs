@@ -92,6 +92,43 @@ impl<E> BinaryHeapQueue<E> {
     }
 }
 
+impl<E: crate::snap::Snap> BinaryHeapQueue<E> {
+    /// Serializes the pending set for a checkpoint.
+    ///
+    /// Entries are written sorted by `(time, seq)` with their original
+    /// sequence numbers, so a restored heap pops in exactly the same order
+    /// and later inserts continue the same FIFO tie-break sequence.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        let mut entries: Vec<&HeapEntry<E>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| (e.time, e.seq));
+        w.usize(entries.len());
+        for e in entries {
+            w.u64(e.time);
+            w.u64(e.seq);
+            e.event.save(w);
+        }
+        w.u64(self.next_seq);
+    }
+
+    /// Rebuilds the pending set from a checkpoint, replacing any contents.
+    pub fn load_state(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        let n = r.len_at_most(1 << 30, "BinaryHeapQueue")?;
+        let mut heap = BinaryHeap::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            let time = r.u64()?;
+            let seq = r.u64()?;
+            let event = E::load(r)?;
+            heap.push(HeapEntry { time, seq, event });
+        }
+        self.next_seq = r.u64()?;
+        self.heap = heap;
+        Ok(())
+    }
+}
+
 impl<E> EventQueue<E> for BinaryHeapQueue<E> {
     fn insert(&mut self, time: Cycle, event: E) {
         let seq = self.next_seq;

@@ -158,6 +158,23 @@ impl Pcg32 {
     }
 }
 
+impl crate::snap::Snap for Pcg32 {
+    fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.state);
+        w.u64(self.inc);
+    }
+    fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let state = r.u64()?;
+        let inc = r.u64()?;
+        if inc & 1 == 0 {
+            return Err(crate::snap::SnapError::Format(
+                "PCG32 stream increment must be odd".to_string(),
+            ));
+        }
+        Ok(Self { state, inc })
+    }
+}
+
 /// Convenience alias for [`Pcg32::stream`].
 pub fn stream(seed: u64, id: u64) -> Pcg32 {
     Pcg32::stream(seed, id)

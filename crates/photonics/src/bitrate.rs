@@ -34,6 +34,15 @@ impl fmt::Display for BitRate {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RateLevel(pub u8);
 
+impl desim::snap::Snap for RateLevel {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.u8(self.0);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        Ok(RateLevel(r.u8()?))
+    }
+}
+
 impl RateLevel {
     /// Numeric index.
     pub fn index(self) -> usize {

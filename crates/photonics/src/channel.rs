@@ -252,6 +252,58 @@ impl OpticalChannel {
             }
         };
     }
+
+    /// Serializes the mutable channel state for a checkpoint. Identity and
+    /// geometry (endpoints, ladder, serdes, fiber delay) come from the
+    /// configuration and are not persisted.
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        w.u8(self.level.index() as u8);
+        match self.state {
+            ChannelState::Off => w.u8(0),
+            ChannelState::Idle => w.u8(1),
+            ChannelState::Sending { until } => {
+                w.u8(2);
+                w.u64(until);
+            }
+            ChannelState::Transitioning { until } => {
+                w.u8(3);
+                w.u64(until);
+            }
+        }
+        w.u64(self.packets_sent);
+        w.u64(self.flits_sent);
+        w.u64(self.transitions);
+    }
+
+    /// Overlays checkpointed mutable state onto a freshly built channel.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        let level = r.u8()? as usize;
+        if level >= self.ladder.len() {
+            return Err(desim::snap::SnapError::Mismatch(format!(
+                "rate level {level} outside ladder of {}",
+                self.ladder.len()
+            )));
+        }
+        self.level = RateLevel(level as u8);
+        self.state = match r.u8()? {
+            0 => ChannelState::Off,
+            1 => ChannelState::Idle,
+            2 => ChannelState::Sending { until: r.u64()? },
+            3 => ChannelState::Transitioning { until: r.u64()? },
+            b => {
+                return Err(desim::snap::SnapError::Format(format!(
+                    "bad channel state tag {b:#x}"
+                )))
+            }
+        };
+        self.packets_sent = r.u64()?;
+        self.flits_sent = r.u64()?;
+        self.transitions = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,20 @@ impl ThresholdWatch {
             None
         }
     }
+
+    /// Serializes the hysteresis side (`b_max` is config-derived).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        w.bool(self.above);
+    }
+
+    /// Overlays a checkpointed hysteresis side.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        self.above = r.bool()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

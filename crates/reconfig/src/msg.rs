@@ -47,6 +47,23 @@ pub struct WavelengthGrant {
     pub to: BoardId,
 }
 
+impl desim::snap::Snap for WavelengthGrant {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.u16(self.destination.0);
+        w.u16(self.wavelength.0);
+        w.u16(self.from.0);
+        w.u16(self.to.0);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        Ok(Self {
+            destination: BoardId(r.u16()?),
+            wavelength: Wavelength(r.u16()?),
+            from: BoardId(r.u16()?),
+            to: BoardId(r.u16()?),
+        })
+    }
+}
+
 /// The LS control packets.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ControlPacket {

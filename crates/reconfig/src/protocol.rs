@@ -110,6 +110,19 @@ pub struct TokenFault {
     pub corrupt: bool,
 }
 
+impl desim::snap::Snap for TokenFault {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.u16(self.victim.0);
+        w.bool(self.corrupt);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        Ok(Self {
+            victim: photonics::wavelength::BoardId(r.u16()?),
+            corrupt: r.bool()?,
+        })
+    }
+}
+
 /// The observable result of a completed DBR round.
 #[derive(Debug, Clone)]
 pub struct RoundOutcome {

@@ -32,6 +32,27 @@ impl RoundRobinArbiter {
         assert!(n > 0);
         Self { n, next: 0 }
     }
+
+    /// Serializes the rotor position (`n` is config-derived).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        w.usize(self.next);
+    }
+
+    /// Overlays a checkpointed rotor position.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        let next = r.usize()?;
+        if next >= self.n {
+            return Err(desim::snap::SnapError::Mismatch(format!(
+                "arbiter rotor {next} out of range {}",
+                self.n
+            )));
+        }
+        self.next = next;
+        Ok(())
+    }
 }
 
 impl Arbiter for RoundRobinArbiter {

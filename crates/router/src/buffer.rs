@@ -85,6 +85,32 @@ impl FlitBuffer {
     pub fn pop(&mut self) -> Option<Flit> {
         self.fifo.pop_front()
     }
+
+    /// Serializes contents and high-water mark (capacity is config-derived).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        self.fifo.save(w);
+        w.usize(self.peak);
+    }
+
+    /// Overlays checkpointed contents onto this buffer.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::Snap;
+        let fifo = std::collections::VecDeque::<Flit>::load(r)?;
+        if fifo.len() > self.capacity {
+            return Err(desim::snap::SnapError::Mismatch(format!(
+                "flit buffer holds {} flits, capacity {}",
+                fifo.len(),
+                self.capacity
+            )));
+        }
+        self.fifo = fifo;
+        self.peak = r.usize()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

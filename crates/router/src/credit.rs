@@ -54,6 +54,27 @@ impl CreditCounter {
         assert!(self.credits < self.max, "credit overflow");
         self.credits += 1;
     }
+
+    /// Serializes the live credit count (`max` is config-derived).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        w.u32(self.credits);
+    }
+
+    /// Overlays a checkpointed credit count.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        let credits = r.u32()?;
+        if credits > self.max {
+            return Err(desim::snap::SnapError::Mismatch(format!(
+                "{credits} credits exceed depth {}",
+                self.max
+            )));
+        }
+        self.credits = credits;
+        Ok(())
+    }
 }
 
 /// Credits in flight back to the sender, delivered after a fixed delay.

@@ -71,6 +71,51 @@ pub struct Flit {
     pub seq: u16,
 }
 
+use desim::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for FlitKind {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u8(match self {
+            FlitKind::Head => 0,
+            FlitKind::Body => 1,
+            FlitKind::Tail => 2,
+            FlitKind::HeadTail => 3,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => FlitKind::Head,
+            1 => FlitKind::Body,
+            2 => FlitKind::Tail,
+            3 => FlitKind::HeadTail,
+            b => return Err(SnapError::Format(format!("bad flit kind {b:#x}"))),
+        })
+    }
+}
+
+impl Snap for Flit {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.packet.0);
+        self.kind.save(w);
+        w.u32(self.src.0);
+        w.u32(self.dst.0);
+        w.u64(self.injected_at);
+        w.bool(self.labelled);
+        w.u16(self.seq);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            packet: PacketId(r.u64()?),
+            kind: FlitKind::load(r)?,
+            src: NodeId(r.u32()?),
+            dst: NodeId(r.u32()?),
+            injected_at: r.u64()?,
+            labelled: r.bool()?,
+            seq: r.u16()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

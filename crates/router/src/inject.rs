@@ -119,6 +119,34 @@ impl FlitInjector {
     }
 }
 
+impl FlitInjector {
+    /// Serializes the injection state (the port is config-derived).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        self.backlog.save(w);
+        self.current.save(w);
+        w.u16(self.next);
+        w.u8(self.vc);
+        w.u8(self.vc_cursor);
+        w.u64(self.injected_flits);
+    }
+
+    /// Overlays checkpointed injection state.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::Snap;
+        self.backlog = VecDeque::<Packet>::load(r)?;
+        self.current = Option::<Packet>::load(r)?;
+        self.next = r.u16()?;
+        self.vc = r.u8()?;
+        self.vc_cursor = r.u8()?;
+        self.injected_flits = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

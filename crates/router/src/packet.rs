@@ -53,6 +53,27 @@ impl Packet {
     }
 }
 
+impl desim::snap::Snap for Packet {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.u64(self.id.0);
+        w.u32(self.src.0);
+        w.u32(self.dst.0);
+        w.u16(self.flits);
+        w.u64(self.injected_at);
+        w.bool(self.labelled);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        Ok(Self {
+            id: PacketId(r.u64()?),
+            src: NodeId(r.u32()?),
+            dst: NodeId(r.u32()?),
+            flits: r.u16()?,
+            injected_at: r.u64()?,
+            labelled: r.bool()?,
+        })
+    }
+}
+
 /// Allocates packet ids monotonically.
 #[derive(Debug, Default, Clone)]
 pub struct PacketIdAllocator {

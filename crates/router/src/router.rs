@@ -287,6 +287,138 @@ impl Router {
             + (self.va_waiting.capacity() + self.sa_active.capacity()) * size_of::<Vec<u16>>()
     }
 
+    /// Serializes the router's mutable state for a checkpoint.
+    ///
+    /// Only pipeline state is written: input VC buffers and states, output
+    /// VC ownership and credits, arbiter rotors, stats and occupancy
+    /// counters. The derived per-port candidate lists (`va_waiting`,
+    /// `sa_active`, `rc_candidates`) are *not* persisted — they are exact
+    /// functions of the VC states and are rebuilt on restore; their order
+    /// only seeds position-addressed arbitration bitmaps, so the canonical
+    /// rebuild is behaviourally identical to the live lists.
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        w.tag(b"RTRS");
+        w.usize(self.inputs.len());
+        for port in &self.inputs {
+            for ivc in port {
+                ivc.buffer.save_state(w);
+                ivc.state.save(w);
+            }
+        }
+        w.usize(self.out_vc_owner.len());
+        for port in &self.out_vc_owner {
+            for owner in port {
+                owner.save(w);
+            }
+        }
+        for port in &self.out_credits {
+            for c in port {
+                c.save_state(w);
+            }
+        }
+        for a in &self.sa_arbiters {
+            a.save_state(w);
+        }
+        for a in &self.va_arbiters {
+            a.save_state(w);
+        }
+        w.u64(self.stats.injected);
+        w.u64(self.stats.traversed);
+        w.u64(self.stats.sa_stalls);
+        w.u64(self.stats.va_stalls);
+        w.u64(self.buffered);
+        w.u64(self.buffered_peak);
+    }
+
+    /// Overlays checkpointed state onto a freshly built router of the same
+    /// configuration, then rebuilds the derived candidate lists.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::Snap;
+        r.tag(b"RTRS")?;
+        r.len_eq(self.inputs.len(), "router input ports")?;
+        for port in &mut self.inputs {
+            for ivc in port {
+                ivc.buffer.load_state(r)?;
+                ivc.state = VcState::load(r)?;
+            }
+        }
+        r.len_eq(self.out_vc_owner.len(), "router output ports")?;
+        for port in &mut self.out_vc_owner {
+            for owner in port.iter_mut() {
+                *owner = Option::<(u16, u8)>::load(r)?;
+            }
+        }
+        for port in &mut self.out_credits {
+            for c in port {
+                c.load_state(r)?;
+            }
+        }
+        for a in &mut self.sa_arbiters {
+            a.load_state(r)?;
+        }
+        for a in &mut self.va_arbiters {
+            a.load_state(r)?;
+        }
+        self.stats = RouterStats {
+            injected: r.u64()?,
+            traversed: r.u64()?,
+            sa_stalls: r.u64()?,
+            va_stalls: r.u64()?,
+        };
+        self.buffered = r.u64()?;
+        self.buffered_peak = r.u64()?;
+        self.rebuild_derived()
+    }
+
+    /// Recomputes `va_waiting`, `sa_active` and `rc_candidates` from the VC
+    /// states, in canonical port-ascending/VC-ascending order.
+    fn rebuild_derived(&mut self) -> Result<(), desim::snap::SnapError> {
+        for list in &mut self.va_waiting {
+            list.clear();
+        }
+        for list in &mut self.sa_active {
+            list.clear();
+        }
+        self.rc_candidates = 0;
+        let vcs = self.cfg.vcs as u16;
+        for (p, port) in self.inputs.iter().enumerate() {
+            for (v, ivc) in port.iter().enumerate() {
+                let requester = p as u16 * vcs + v as u16;
+                match ivc.state {
+                    VcState::Idle => {
+                        if !ivc.buffer.is_empty() {
+                            self.rc_candidates += 1;
+                        }
+                    }
+                    VcState::Routing { .. } => self.rc_candidates += 1,
+                    VcState::WaitingVc { out_port } => {
+                        let out = out_port.index();
+                        if out >= self.va_waiting.len() {
+                            return Err(desim::snap::SnapError::Mismatch(format!(
+                                "VC routed to out-of-range port {out}"
+                            )));
+                        }
+                        self.va_waiting[out].push(requester);
+                    }
+                    VcState::Active { out_port, .. } => {
+                        let out = out_port.index();
+                        if out >= self.sa_active.len() {
+                            return Err(desim::snap::SnapError::Mismatch(format!(
+                                "active VC at out-of-range port {out}"
+                            )));
+                        }
+                        self.sa_active[out].push(requester);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Advances one cycle; returns the flits that traversed the switch.
     ///
     /// Convenience wrapper over [`Router::step_into`] that allocates a

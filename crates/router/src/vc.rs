@@ -69,6 +69,51 @@ impl InputVc {
     }
 }
 
+impl desim::snap::Snap for VcState {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        match self {
+            VcState::Idle => w.u8(0),
+            VcState::Routing { done_at } => {
+                w.u8(1);
+                w.u64(*done_at);
+            }
+            VcState::WaitingVc { out_port } => {
+                w.u8(2);
+                w.u16(out_port.0);
+            }
+            VcState::Active {
+                out_port,
+                out_vc,
+                active_at,
+            } => {
+                w.u8(3);
+                w.u16(out_port.0);
+                w.u8(*out_vc);
+                w.u64(*active_at);
+            }
+        }
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => VcState::Idle,
+            1 => VcState::Routing { done_at: r.u64()? },
+            2 => VcState::WaitingVc {
+                out_port: PortId(r.u16()?),
+            },
+            3 => VcState::Active {
+                out_port: PortId(r.u16()?),
+                out_vc: r.u8()?,
+                active_at: r.u64()?,
+            },
+            b => {
+                return Err(desim::snap::SnapError::Format(format!(
+                    "bad VC state tag {b:#x}"
+                )))
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -126,6 +126,34 @@ impl Histogram {
     }
 }
 
+use desim::snap::Snap;
+
+impl Snap for Histogram {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.f64(self.bin_width);
+        self.counts.save(w);
+        w.u64(self.overflow);
+        w.u64(self.total);
+        w.f64(self.sum);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        let bin_width = r.f64()?;
+        let counts = Vec::<u64>::load(r)?;
+        if bin_width.is_nan() || bin_width <= 0.0 || counts.is_empty() {
+            return Err(desim::snap::SnapError::Format(
+                "histogram geometry invalid".to_string(),
+            ));
+        }
+        Ok(Self {
+            bin_width,
+            counts,
+            overflow: r.u64()?,
+            total: r.u64()?,
+            sum: r.f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

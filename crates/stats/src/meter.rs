@@ -3,6 +3,7 @@
 
 use crate::histogram::Histogram;
 use crate::running::Running;
+use desim::snap::{Snap, SnapError, SnapReader, SnapWriter};
 use desim::Cycle;
 
 /// Measures accepted throughput over a measurement interval.
@@ -183,6 +184,59 @@ impl PowerMeter {
     /// Cycles recorded.
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+}
+
+impl Snap for ThroughputMeter {
+    fn save(&self, w: &mut SnapWriter) {
+        w.usize(self.nodes);
+        w.u64(self.delivered);
+        w.u64(self.delivered_flits);
+        self.start.save(w);
+        w.u64(self.end);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let nodes = r.usize()?;
+        if nodes == 0 {
+            return Err(SnapError::Format(
+                "throughput meter with 0 nodes".to_string(),
+            ));
+        }
+        Ok(Self {
+            nodes,
+            delivered: r.u64()?,
+            delivered_flits: r.u64()?,
+            start: Option::<Cycle>::load(r)?,
+            end: r.u64()?,
+        })
+    }
+}
+
+impl Snap for LatencyMeter {
+    fn save(&self, w: &mut SnapWriter) {
+        self.stats.save(w);
+        self.hist.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            stats: Running::load(r)?,
+            hist: Histogram::load(r)?,
+        })
+    }
+}
+
+impl Snap for PowerMeter {
+    fn save(&self, w: &mut SnapWriter) {
+        w.f64(self.mw_cycles);
+        w.u64(self.cycles);
+        w.f64(self.peak_mw);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            mw_cycles: r.f64()?,
+            cycles: r.u64()?,
+            peak_mw: r.f64()?,
+        })
     }
 }
 

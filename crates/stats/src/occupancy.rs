@@ -156,6 +156,42 @@ impl OccupancyIntegral {
     }
 }
 
+impl desim::snap::Snap for OccupancyIntegral {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.u64(self.window);
+        w.u32(self.capacity);
+        w.u32(self.flits);
+        w.u64(self.acc);
+        w.u64(self.cursor);
+        w.f64(self.previous);
+        w.u64(self.completed);
+        w.bool(self.touched);
+        w.bool(self.last_touched);
+        w.bool(self.last_steady);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        let window = r.u64()?;
+        let capacity = r.u32()?;
+        if window == 0 || !capacity.is_power_of_two() {
+            return Err(desim::snap::SnapError::Format(
+                "occupancy integral geometry invalid".to_string(),
+            ));
+        }
+        Ok(Self {
+            window,
+            capacity,
+            flits: r.u32()?,
+            acc: r.u64()?,
+            cursor: r.u64()?,
+            previous: r.f64()?,
+            completed: r.u64()?,
+            touched: r.bool()?,
+            last_touched: r.bool()?,
+            last_steady: r.bool()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,7 @@
 //! Streaming mean / variance / extrema via Welford's algorithm.
 
+use desim::snap::{Snap, SnapError, SnapReader, SnapWriter};
+
 /// Numerically stable running statistics over a stream of `f64` samples.
 #[derive(Debug, Clone, Default)]
 pub struct Running {
@@ -107,6 +109,25 @@ impl Running {
     /// Resets to empty.
     pub fn clear(&mut self) {
         *self = Self::new();
+    }
+}
+
+impl Snap for Running {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.n);
+        w.f64(self.mean);
+        w.f64(self.m2);
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            n: r.u64()?,
+            mean: r.f64()?,
+            m2: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+        })
     }
 }
 

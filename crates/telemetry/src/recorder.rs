@@ -136,6 +136,41 @@ impl RingRecorder {
         self.head = 0;
         out
     }
+
+    /// Serializes the ring contents and wrap/sampling cursors (capacity and
+    /// sampling rate are config-derived).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        self.buf.save(w);
+        w.usize(self.head);
+        w.u64(self.dropped);
+        w.u32(self.phase);
+    }
+
+    /// Overlays checkpointed ring contents; the ring geometry must match.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::{Snap, SnapError};
+        let buf: Vec<TraceRecord> = Snap::load(r)?;
+        if buf.len() > self.capacity {
+            return Err(SnapError::Mismatch(format!(
+                "ring snapshot holds {} records but capacity is {}",
+                buf.len(),
+                self.capacity
+            )));
+        }
+        let head = r.usize()?;
+        if head > buf.len() || (head != 0 && head >= self.capacity) {
+            return Err(SnapError::Format(format!("ring head {head} out of range")));
+        }
+        self.buf = buf;
+        self.head = head;
+        self.dropped = r.u64()?;
+        self.phase = r.u32()?;
+        Ok(())
+    }
 }
 
 impl TraceSink for RingRecorder {
@@ -192,6 +227,36 @@ impl Tracer {
         match self {
             Tracer::Null => 0,
             Tracer::Ring(r) => r.dropped(),
+        }
+    }
+
+    /// Serializes the tracer state (null tracers carry no state beyond
+    /// their variant tag).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        match self {
+            Tracer::Null => w.u8(0),
+            Tracer::Ring(r) => {
+                w.u8(1);
+                r.save_state(w);
+            }
+        }
+    }
+
+    /// Overlays checkpointed tracer state; the stored variant must match
+    /// the one this system was configured with.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::SnapError;
+        let tag = r.u8()?;
+        match (&mut *self, tag) {
+            (Tracer::Null, 0) => Ok(()),
+            (Tracer::Ring(ring), 1) => ring.load_state(r),
+            (_, 0 | 1) => Err(SnapError::Mismatch(
+                "tracer kind differs from snapshot".to_string(),
+            )),
+            (_, b) => Err(SnapError::Format(format!("bad tracer tag {b:#x}"))),
         }
     }
 }

@@ -166,6 +166,75 @@ impl MetricRegistry {
     pub fn take_windows(&mut self) -> Vec<WindowSnapshot> {
         std::mem::take(&mut self.windows)
     }
+
+    /// Serializes metric values, roll baselines, histograms and retained
+    /// window rows. Names and registration order are config-derived and
+    /// used only for geometry validation on load.
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        self.counters.save(w);
+        self.counters_at_roll.save(w);
+        self.gauges.save(w);
+        self.hists.save(w);
+        self.windows.save(w);
+    }
+
+    /// Overlays checkpointed metric state; the registration shape (number
+    /// of counters/gauges/histograms) must match this registry.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::{Snap, SnapError};
+        fn expect_len(expect: usize, got: usize, what: &str) -> Result<(), SnapError> {
+            if expect == got {
+                Ok(())
+            } else {
+                Err(SnapError::Mismatch(format!(
+                    "{what}: expected {expect} entries, snapshot has {got}"
+                )))
+            }
+        }
+        let counters: Vec<u64> = Snap::load(r)?;
+        expect_len(
+            self.counter_names.len(),
+            counters.len(),
+            "registry counters",
+        )?;
+        let counters_at_roll: Vec<u64> = Snap::load(r)?;
+        expect_len(
+            self.counter_names.len(),
+            counters_at_roll.len(),
+            "registry counter baselines",
+        )?;
+        let gauges: Vec<f64> = Snap::load(r)?;
+        expect_len(self.gauge_names.len(), gauges.len(), "registry gauges")?;
+        let hists: Vec<Histogram> = Snap::load(r)?;
+        expect_len(self.hist_names.len(), hists.len(), "registry histograms")?;
+        let windows: Vec<WindowSnapshot> = Snap::load(r)?;
+        self.counters = counters;
+        self.counters_at_roll = counters_at_roll;
+        self.gauges = gauges;
+        self.hists = hists;
+        self.windows = windows;
+        Ok(())
+    }
+}
+
+impl desim::snap::Snap for WindowSnapshot {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.u64(self.window);
+        self.counters.save(w);
+        self.gauges.save(w);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        use desim::snap::Snap;
+        Ok(Self {
+            window: r.u64()?,
+            counters: Snap::load(r)?,
+            gauges: Snap::load(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

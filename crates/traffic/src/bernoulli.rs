@@ -51,6 +51,24 @@ impl BernoulliInjector {
     pub fn rng_mut(&mut self) -> &mut Pcg32 {
         &mut self.rng
     }
+
+    /// Serializes the RNG position and counter (rate is config-derived).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        self.rng.save(w);
+        w.u64(self.generated);
+    }
+
+    /// Overlays checkpointed RNG position and counter.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::Snap;
+        self.rng = Pcg32::load(r)?;
+        self.generated = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -105,6 +105,27 @@ impl OnOffSource {
             false
         }
     }
+
+    /// Serializes the Markov state, RNG position and counter (rates and
+    /// dwell probabilities are config-derived).
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        w.bool(self.is_on);
+        self.rng.save(w);
+        w.u64(self.generated);
+    }
+
+    /// Overlays checkpointed Markov state, RNG position and counter.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::Snap;
+        self.is_on = r.bool()?;
+        self.rng = Pcg32::load(r)?;
+        self.generated = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

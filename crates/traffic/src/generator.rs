@@ -138,6 +138,40 @@ impl NodeGenerator {
             dst,
         })
     }
+
+    /// Serializes the mutable source state (RNG position, burst phase,
+    /// counters). Identity, pattern and rates are config-derived.
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        match &self.source {
+            Source::Bernoulli(b) => {
+                w.u8(0);
+                b.save_state(w);
+            }
+            Source::OnOff(o) => {
+                w.u8(1);
+                o.save_state(w);
+            }
+        }
+    }
+
+    /// Overlays checkpointed source state; the stored source kind must
+    /// match the one this generator was configured with.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        let tag = r.u8()?;
+        match (&mut self.source, tag) {
+            (Source::Bernoulli(b), 0) => b.load_state(r),
+            (Source::OnOff(o), 1) => o.load_state(r),
+            (_, 0 | 1) => Err(desim::snap::SnapError::Mismatch(
+                "generator source kind differs from snapshot".to_string(),
+            )),
+            (_, b) => Err(desim::snap::SnapError::Format(format!(
+                "bad source tag {b:#x}"
+            ))),
+        }
+    }
 }
 
 /// Builds one generator per node with de-correlated streams.

@@ -179,6 +179,37 @@ impl TraceRecorder {
             entries: self.entries,
         }
     }
+
+    /// Serializes the recorded entries for a checkpoint.
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        use desim::snap::Snap;
+        self.entries.save(w);
+    }
+
+    /// Replaces the recorded entries from a checkpoint.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        use desim::snap::Snap;
+        self.entries = Vec::<TraceEntry>::load(r)?;
+        Ok(())
+    }
+}
+
+impl desim::snap::Snap for TraceEntry {
+    fn save(&self, w: &mut desim::snap::SnapWriter) {
+        w.u64(self.cycle);
+        w.u32(self.src);
+        w.u32(self.dst);
+    }
+    fn load(r: &mut desim::snap::SnapReader<'_>) -> Result<Self, desim::snap::SnapError> {
+        Ok(Self {
+            cycle: r.u64()?,
+            src: r.u32()?,
+            dst: r.u32()?,
+        })
+    }
 }
 
 /// Replays a trace in cycle order.
@@ -232,6 +263,31 @@ impl TraceReplayer {
     /// True when the trace is exhausted.
     pub fn is_done(&self) -> bool {
         self.remaining() == 0
+    }
+
+    /// Serializes the replay cursor. The entries themselves are *not*
+    /// persisted — a restored run re-installs the same trace from its
+    /// file, so only the position (plus a length check) is needed.
+    pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
+        w.usize(self.entries.len());
+        w.usize(self.pos);
+    }
+
+    /// Overlays a checkpointed replay cursor onto this (identical) trace.
+    pub fn load_state(
+        &mut self,
+        r: &mut desim::snap::SnapReader<'_>,
+    ) -> Result<(), desim::snap::SnapError> {
+        r.len_eq(self.entries.len(), "replay trace entries")?;
+        let pos = r.usize()?;
+        if pos > self.entries.len() {
+            return Err(desim::snap::SnapError::Format(format!(
+                "replay cursor {pos} beyond {} entries",
+                self.entries.len()
+            )));
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 

@@ -69,6 +69,12 @@ else
     echo "tracereport smoke: $(wc -l < "$trace_dir/trace.jsonl") JSONL lines (structural check only)"
 fi
 
+# Dropped-events gate: the bin exits nonzero itself when any point drops
+# trace events; belt-and-braces, also check the JSONL point headers.
+if grep -o '"dropped":[0-9]*' "$trace_dir/trace.jsonl" | grep -qv ':0$'; then
+    echo "tracereport smoke: trace events were dropped"; exit 1
+fi
+
 echo "== replay smoke (record -> persist -> replay conformance) =="
 replay_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$replay_dir"' EXIT
@@ -80,5 +86,21 @@ test -n "$report" && test -s "$report" || { echo "replay smoke: missing REPLAY_<
 # an empty baseline self-diff; here we just confirm the artifacts landed.
 test -s "$replay_dir"/workload_*.ertr || { echo "replay smoke: missing workload .ertr"; exit 1; }
 echo "replay smoke: $(basename "$report") written"
+
+echo "== marathon smoke (streamed run, forced mid-run kill, checkpoint resume) =="
+marathon_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$replay_dir" "$marathon_dir"' EXIT
+# The bin aborts itself mid-run (SIGABRT), resumes from the newest
+# checkpoint, and asserts zero byte divergence from the uninterrupted run
+# plus a peak-RSS ceiling — a nonzero exit here means the crash-safety
+# contract broke. Run it through both engines.
+ERAPID_QUICK=1 ERAPID_RESULTS="$marathon_dir" \
+    cargo run --release -q -p erapid-bench --bin marathon > /dev/null
+ERAPID_QUICK=1 ERAPID_RESULTS="$marathon_dir" ERAPID_POINT_THREADS=2 \
+    cargo run --release -q -p erapid-bench --bin marathon > /dev/null
+mreport=$(ls "$marathon_dir"/MARATHON_*.json 2> /dev/null | head -1)
+test -n "$mreport" && test -s "$mreport" || { echo "marathon smoke: missing MARATHON_<sha>.json"; exit 1; }
+grep -q '"resume_divergence": 0' "$mreport" || { echo "marathon smoke: nonzero resume divergence"; exit 1; }
+echo "marathon smoke: $(basename "$mreport") written, zero resume divergence"
 
 echo "verify: all checks passed"
