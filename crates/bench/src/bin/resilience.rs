@@ -23,6 +23,13 @@
 //! thread count. Results land in `RESILIENCE_<git-sha>.json` next to the
 //! console tables.
 //!
+//! A second matrix layers the same fault plans onto *hostile traffic*: the
+//! two worst-offender workload scenarios (lowest P-B delivered fraction)
+//! reported by the `scenarios` bin's newest `SCENARIO_<sha>.json`, run in
+//! P-B mode against a fault-free baseline under the same workload. Without
+//! that artifact the matrix falls back to the incast + collective
+//! scenarios.
+//!
 //! ```text
 //! cargo run --release -p erapid-bench --bin resilience
 //! ERAPID_QUICK=1 cargo run --release -p erapid-bench --bin resilience
@@ -33,6 +40,7 @@ use erapid_core::config::{ControlPlane, NetworkMode, SystemConfig};
 use erapid_core::experiment::{RunResult, TraceSource};
 use erapid_core::faults::{FaultKind, FaultPlan};
 use erapid_core::runner::{run_points, RunPoint};
+use erapid_workloads::ScenarioSpec;
 use netstats::table::Table;
 use traffic::pattern::TrafficPattern;
 
@@ -131,6 +139,83 @@ fn point(
         load: LOAD,
         plan,
         source: TraceSource::Generate,
+    }
+}
+
+/// As [`point`], but injecting a hostile workload scenario instead of the
+/// complement pattern (the pattern is inert under a scenario).
+fn hostile_point(
+    bench: &BenchConfig,
+    spec: &ScenarioSpec,
+    control: ControlPlane,
+    faults: FaultPlan,
+) -> RunPoint {
+    let mut p = point(bench, NetworkMode::PB, control, faults);
+    p.cfg.scenario = Some(spec.clone());
+    p.pattern = TrafficPattern::Uniform;
+    p
+}
+
+/// The two worst-offender workloads from the newest `SCENARIO_<sha>.json`
+/// the `scenarios` bin wrote in the working directory, falling back to
+/// incast + collective when no artifact (or no recognisable name) exists.
+fn worst_offenders() -> Vec<ScenarioSpec> {
+    let fallback = || vec![ScenarioSpec::incast(), ScenarioSpec::collective()];
+    let mut newest: Option<(std::time::SystemTime, std::path::PathBuf)> = None;
+    let Ok(dir) = std::fs::read_dir(".") else {
+        return fallback();
+    };
+    for entry in dir.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        if !(name.starts_with("SCENARIO_") && name.ends_with(".json")) {
+            continue;
+        }
+        let Ok(mtime) = entry.metadata().and_then(|m| m.modified()) else {
+            continue;
+        };
+        let newer = match &newest {
+            Some((t, _)) => mtime > *t,
+            None => true,
+        };
+        if newer {
+            newest = Some((mtime, entry.path()));
+        }
+    }
+    let Some((_, path)) = newest else {
+        return fallback();
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return fallback();
+    };
+    // Minimal extraction of `"worst_offenders": ["a", "b"]` — the artifact
+    // is machine-written single-level JSON, not arbitrary input.
+    let Some(start) = text.find("\"worst_offenders\"") else {
+        return fallback();
+    };
+    let Some(open) = text[start..].find('[') else {
+        return fallback();
+    };
+    let Some(close) = text[start + open..].find(']') else {
+        return fallback();
+    };
+    let inner = &text[start + open + 1..start + open + close];
+    let specs: Vec<ScenarioSpec> = inner
+        .split(',')
+        .filter_map(|s| ScenarioSpec::from_name(s.trim().trim_matches('"')))
+        .collect();
+    if specs.is_empty() {
+        fallback()
+    } else {
+        eprintln!(
+            "hostile workloads from {}: {}",
+            path.display(),
+            specs
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        specs
     }
 }
 
@@ -238,6 +323,68 @@ fn main() {
         ));
     }
 
+    // --- hostile-workload matrix: the same fault plans layered onto the
+    // worst-offender scenarios, P-B mode, vs a fault-free baseline under
+    // the identical workload. ---
+    let hostile = worst_offenders();
+    let mut hpoints: Vec<RunPoint> = Vec::new();
+    for w in &hostile {
+        for &plane in &planes {
+            hpoints.push(hostile_point(&bench, w, plane, FaultPlan::new()));
+        }
+    }
+    for s in &scenarios {
+        for w in &hostile {
+            hpoints.push(hostile_point(&bench, w, s.control, s.faults.clone()));
+        }
+    }
+    let hresults = run_points(bench.threads, hpoints);
+    let (hbase, hfaulted) = hresults.split_at(hostile.len() * planes.len());
+    let hbaseline = |wi: usize, control: ControlPlane| -> &RunResult {
+        let plane_idx = match control {
+            ControlPlane::AnalyticLatency => 0,
+            ControlPlane::MessageLevel => 1,
+        };
+        &hbase[wi * planes.len() + plane_idx]
+    };
+    let mut headers = vec!["fault".to_string()];
+    for w in &hostile {
+        headers.push(format!("{} thr", w.name()));
+        headers.push(format!("{} recovery", w.name()));
+        headers.push(format!("{} delivered", w.name()));
+    }
+    let mut ht = Table::new(headers)
+        .with_title("[hostile] faults x worst-offender workloads (P-B mode)".to_string());
+    let mut hostile_json: Vec<String> = Vec::new();
+    for (si, s) in scenarios.iter().enumerate() {
+        let mut row = vec![s.name.to_string()];
+        for (wi, w) in hostile.iter().enumerate() {
+            let r = &hfaulted[si * hostile.len() + wi];
+            let base = hbaseline(wi, s.control);
+            let recovery = r.throughput / base.throughput.max(1e-12);
+            row.push(format!("{:.4}", r.throughput));
+            row.push(format!("{:.1}%", 100.0 * recovery));
+            row.push(format!("{:.1}%", 100.0 * r.delivered_fraction()));
+            hostile_json.push(format!(
+                "    {{\"fault\": \"{}\", \"workload\": \"{}\", \"throughput\": {:.6}, \
+                 \"baseline_throughput\": {:.6}, \"recovery\": {:.4}, \
+                 \"delivered_fraction\": {:.6}, \"undrained\": {}, \"grants\": {}, \
+                 \"ls_retries\": {}}}",
+                s.name,
+                w.name(),
+                r.throughput,
+                base.throughput,
+                recovery,
+                r.delivered_fraction(),
+                r.undrained,
+                r.grants,
+                r.ls_retries,
+            ));
+        }
+        ht.row(row);
+    }
+    println!("{}", ht.render());
+
     println!("Reading: DBR absorbs the rx outage (the orphaned flow's demand");
     println!("re-acquires bandwidth at the next bandwidth cycle, and repair");
     println!("hands the wavelength back to its static owner); a stuck LC only");
@@ -246,10 +393,11 @@ fn main() {
     println!("recovered by the round watchdog (see ls_retries) with no aborts.");
 
     let json = format!(
-        "{{\n  \"git_sha\": \"{sha}\",\n  \"workload\": {{\"system\": \"paper64\", \"pattern\": \"complement\", \"load\": {LOAD}, \"quick\": {quick}}},\n  \"threads\": {threads},\n  \"scenarios\": [\n{scenarios}\n  ]\n}}\n",
+        "{{\n  \"git_sha\": \"{sha}\",\n  \"workload\": {{\"system\": \"paper64\", \"pattern\": \"complement\", \"load\": {LOAD}, \"quick\": {quick}}},\n  \"threads\": {threads},\n  \"scenarios\": [\n{scenarios}\n  ],\n  \"hostile\": [\n{hostile}\n  ]\n}}\n",
         quick = bench.quick,
         threads = bench.threads,
         scenarios = scenario_json.join(",\n"),
+        hostile = hostile_json.join(",\n"),
     );
     let path = format!("RESILIENCE_{sha}.json");
     match std::fs::write(&path, json) {

@@ -4,6 +4,7 @@
 use crate::error::ErapidError;
 use crate::faults::FaultPlan;
 use erapid_telemetry::TraceConfig;
+use erapid_workloads::ScenarioSpec;
 use photonics::bitrate::RateLadder;
 use photonics::fiber::Fiber;
 use photonics::power::LinkPowerModel;
@@ -127,6 +128,11 @@ pub struct SystemConfig {
     pub dpm_override: Option<DpmPolicy>,
     /// Bursty sources (None = Bernoulli, the paper's model).
     pub burst: Option<BurstSpec>,
+    /// Production-shaped workload scenario. When set, injection comes from
+    /// an `erapid_workloads::ScenarioEngine` built from this spec (seeded
+    /// from [`SystemConfig::seed`], rate-normalised like the synthetic
+    /// patterns) instead of the per-node pattern generators.
+    pub scenario: Option<ScenarioSpec>,
     /// DBR control-plane execution model.
     pub control_plane: ControlPlane,
     /// Control-plane latency model.
@@ -173,6 +179,7 @@ impl SystemConfig {
             alloc: AllocPolicy::paper(),
             dpm_override: None,
             burst: None,
+            scenario: None,
             control_plane: ControlPlane::default(),
             timing: ProtocolTiming::paper64(),
             fiber: Fiber::rack_scale(),
@@ -269,6 +276,10 @@ impl SystemConfig {
         if self.ladder.len() != self.power_model.ladder().len() {
             return fail("power model must cover the ladder");
         }
+        if let Some(spec) = &self.scenario {
+            spec.validate(self.nodes())
+                .map_err(|e| ErapidError::Config(e.0))?;
+        }
         self.faults.validate(self.boards)?;
         Ok(())
     }
@@ -357,6 +368,17 @@ mod tests {
         let mut c = SystemConfig::paper64(NetworkMode::NpNb);
         c.tx_queue_flits = 4;
         c.validate();
+    }
+
+    #[test]
+    fn scenario_specs_are_validated() {
+        let mut c = SystemConfig::small(NetworkMode::PB);
+        c.scenario = Some(ScenarioSpec::incast());
+        assert!(c.try_validate().is_ok());
+        let mut bad = ScenarioSpec::hotspot();
+        bad.rate_scale = f64::NAN;
+        c.scenario = Some(bad);
+        assert!(matches!(c.try_validate(), Err(ErapidError::Config(_))));
     }
 
     #[test]

@@ -46,8 +46,24 @@ pub struct RunResult {
     pub ls_retries: u64,
     /// DBR rounds aborted fail-safe (retry budget exhausted).
     pub ls_aborts: u64,
+    /// Packets injected over the whole run (all phases).
+    pub injected: u64,
+    /// Packets delivered over the whole run (all phases).
+    pub delivered: u64,
     /// Final cycle of the run.
     pub cycles: Cycle,
+}
+
+impl RunResult {
+    /// Whole-run delivered fraction (`delivered / injected`; 1.0 for an
+    /// idle run) — the survival headline the scenario bench ranks by.
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
 }
 
 /// Default phase plan used by the figure benches: three R_w windows of
@@ -181,6 +197,8 @@ fn collect(mut sys: System, load: f64, capacity: f64, cycles: Cycle) -> (RunResu
         retunes,
         ls_retries,
         ls_aborts,
+        injected: m.injected_total,
+        delivered: m.delivered_total,
         cycles,
     };
     (result, trace)

@@ -24,6 +24,7 @@ use erapid_telemetry::{
     CounterId, FaultLabel, GaugeId, HistId, HistogramSummary, LsStageLabel, MetricRegistry,
     TraceEvent, TraceRecord, TraceSink, Tracer, WindowLabel, WindowSnapshot,
 };
+use erapid_workloads::ScenarioEngine;
 use photonics::wavelength::{BoardId, Wavelength};
 use reconfig::alloc::{FlowDemand, IncomingLink};
 use reconfig::lc::ThresholdWatch;
@@ -33,8 +34,9 @@ use reconfig::protocol::{DbrRound, TokenFault};
 use reconfig::stages::Stage;
 use router::flit::{NodeId, PacketId};
 use router::packet::Packet;
-use traffic::generator::NodeGenerator;
+use traffic::generator::{NodeGenerator, PacketRequest};
 use traffic::pattern::TrafficPattern;
+use traffic::source::InjectionSource;
 use traffic::trace::{TraceRecorder, TraceReplayer};
 
 /// A full simulated E-RAPID system.
@@ -45,6 +47,11 @@ pub struct System {
     generators: Vec<NodeGenerator>,
     /// When set, injection replays this trace instead of the generators.
     replay: Option<TraceReplayer>,
+    /// When set (`cfg.scenario`), injection polls this scenario source
+    /// instead of the per-node generators.
+    scenario: Option<Box<dyn InjectionSource>>,
+    /// Reusable per-cycle scenario request buffer.
+    scenario_scratch: Vec<PacketRequest>,
     /// Records every injection for later replay (None unless
     /// `cfg.record_injections` — zero cost when off).
     injection_log: Option<TraceRecorder>,
@@ -235,12 +242,20 @@ impl System {
         let injection_log = cfg.record_injections.then(TraceRecorder::new);
         let packet_log = cfg.packet_log.then(Vec::new);
         let watch_pending = vec![true; buffer_watch.len()];
+        // A scenario source preempts the generators; the rate is the same
+        // load × N_c normalisation the synthetic patterns use, so the
+        // bench load axis carries over unchanged.
+        let scenario = cfg.scenario.clone().map(|spec| {
+            Box::new(ScenarioEngine::new(spec, nodes, rate, cfg.seed)) as Box<dyn InjectionSource>
+        });
         Self {
             cfg,
             boards,
             srs,
             generators,
             replay: None,
+            scenario,
+            scenario_scratch: Vec::new(),
             injection_log,
             packet_log,
             next_packet_id: 0,
@@ -833,9 +848,9 @@ impl System {
     }
 
     /// Node injection: Bernoulli sources fire into their NIs (or the
-    /// replayed trace's entries due this cycle). Both branches funnel
-    /// through [`Self::inject_one`], so the injection log sees the exact
-    /// workload regardless of its source.
+    /// replayed trace's entries due this cycle, or the scenario source's).
+    /// All branches funnel through [`Self::inject_one`], so the injection
+    /// log sees the exact workload regardless of its source.
     fn inject(&mut self, now: Cycle) {
         let plan = self.metrics.plan;
         let labelled = plan.phase_at(now) == Phase::Measure;
@@ -844,6 +859,17 @@ impl System {
                 self.inject_one(now, e.src, e.dst, labelled);
             }
             self.replay = Some(rep);
+            return;
+        }
+        if let Some(mut sc) = self.scenario.take() {
+            let mut due = std::mem::take(&mut self.scenario_scratch);
+            due.clear();
+            sc.poll_into(now, &mut due);
+            for req in &due {
+                self.inject_one(now, req.src, req.dst, labelled);
+            }
+            self.scenario_scratch = due;
+            self.scenario = Some(sc);
             return;
         }
         // Moving the Vec out and back costs three pointer words and frees
@@ -1278,6 +1304,10 @@ impl System {
             watch.save_state(w);
         }
         self.watch_pending.save(w);
+        w.bool(self.scenario.is_some());
+        if let Some(sc) = &self.scenario {
+            sc.save_state(w);
+        }
         Ok(())
     }
 
@@ -1348,13 +1378,11 @@ impl System {
         for watch in &mut self.buffer_watch {
             watch.load_state(r)?;
         }
-        let watch_pending: Vec<bool> = Snap::load(r)?;
-        if watch_pending.len() != self.watch_pending.len() {
-            return Err(SnapError::Mismatch(format!(
-                "snapshot has {} watch-pending flags, this system has {}",
-                watch_pending.len(),
-                self.watch_pending.len()
-            )));
+        let watch_pending: Vec<bool> =
+            desim::snap::load_vec_exact(r, self.watch_pending.len(), "watch-pending flags")?;
+        presence(r.bool()?, self.scenario.is_some(), "a scenario source")?;
+        if let Some(sc) = &mut self.scenario {
+            sc.load_state(r)?;
         }
         self.now = now;
         self.next_packet_id = next_packet_id;

@@ -470,6 +470,22 @@ pub fn save_slice<T: Snap>(w: &mut SnapWriter, src: &[T]) {
     }
 }
 
+/// Loads an owned `Vec` whose stored length must equal `expect` — the
+/// geometry-checked twin of `Vec::<T>::load` for fields whose length is
+/// config-derived (RNG stream banks, per-flow flag vectors).
+pub fn load_vec_exact<T: Snap>(
+    r: &mut SnapReader<'_>,
+    expect: usize,
+    what: &str,
+) -> Result<Vec<T>, SnapError> {
+    r.len_eq(expect, what)?;
+    let mut out = Vec::with_capacity(expect);
+    for _ in 0..expect {
+        out.push(T::load(r)?);
+    }
+    Ok(out)
+}
+
 /// `Cycle` already encodes as `u64`; re-exported alias for hook clarity.
 pub type SnapCycle = Cycle;
 
@@ -564,6 +580,17 @@ mod tests {
         let bytes = w.into_bytes();
         let mut dst = [0u8; 2];
         let err = load_slice_into(&mut SnapReader::new(&bytes), &mut dst, "field").unwrap_err();
+        assert!(matches!(err, SnapError::Mismatch(_)));
+    }
+
+    #[test]
+    fn load_vec_exact_checks_geometry() {
+        let mut w = SnapWriter::new();
+        save_slice(&mut w, &[10u32, 20, 30]);
+        let bytes = w.into_bytes();
+        let v = load_vec_exact::<u32>(&mut SnapReader::new(&bytes), 3, "field").unwrap();
+        assert_eq!(v, vec![10, 20, 30]);
+        let err = load_vec_exact::<u32>(&mut SnapReader::new(&bytes), 4, "field").unwrap_err();
         assert!(matches!(err, SnapError::Mismatch(_)));
     }
 

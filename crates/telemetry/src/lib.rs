@@ -33,5 +33,7 @@ pub mod sink;
 pub use event::{FaultLabel, LsStageLabel, TraceEvent, TraceRecord, WindowLabel};
 pub use export::{chrome_trace, jsonl, jsonl_line, windows_jsonl, windows_jsonl_rows};
 pub use recorder::{RingRecorder, TraceConfig, Tracer};
-pub use registry::{CounterId, GaugeId, HistId, HistogramSummary, MetricRegistry, WindowSnapshot};
+pub use registry::{
+    counter_column, CounterId, GaugeId, HistId, HistogramSummary, MetricRegistry, WindowSnapshot,
+};
 pub use sink::{NullSink, TraceSink};

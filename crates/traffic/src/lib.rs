@@ -12,7 +12,9 @@
 //!   (packets/node/cycle) that loads are normalised against,
 //! * [`generator`] — per-node packet generators tying it together,
 //! * [`burst`] — a two-state MMPP (bursty on/off) extension workload,
-//! * [`trace`] — record/replay of injection traces.
+//! * [`trace`] — record/replay of injection traces,
+//! * [`source`] — the [`source::InjectionSource`] seam external workload
+//!   engines (e.g. `erapid-workloads`) plug into.
 
 //!
 //! ## Example: the paper's injection model
@@ -35,6 +37,7 @@ pub mod burst;
 pub mod capacity;
 pub mod generator;
 pub mod pattern;
+pub mod source;
 pub mod trace;
 
 pub use capacity::CapacityModel;

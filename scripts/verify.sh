@@ -37,6 +37,11 @@ else
     cargo run --release -q -p erapid-bench --bin perfreport -- --smoke
 fi
 
+echo "== scenarios smoke (workload generators: seq == sharded == fanned) =="
+# One small P-B point per scenario through all three engines; the bin
+# exits nonzero when delivery is zero or any engine pair diverges.
+cargo run --release -q -p erapid-bench --bin scenarios -- --smoke
+
 echo "== resilience smoke (quick fault-scenario matrix) =="
 ERAPID_QUICK=1 cargo run --release -q -p erapid-bench --bin resilience > /dev/null
 rm -f RESILIENCE_*.json

@@ -166,6 +166,68 @@ fn golden_kill_resume_byte_identical_sharded() {
     kill_resume_equals_full(NetworkMode::PB, 2, 8 * WINDOW + 777, "gold-shard");
 }
 
+/// The kill/resume contract holds with the scenario engine driving
+/// injection: its per-node RNG streams ride the snapshot, so a resumed
+/// run's stream continues exactly where the killed run stopped — every
+/// scenario, alternating sequential and board-sharded engines.
+#[test]
+fn scenario_kill_resume_byte_identical() {
+    use erapid_suite::erapid_workloads::ScenarioSpec;
+    let scen_cfg = |spec: &ScenarioSpec| {
+        let mut c = cfg(NetworkMode::PB);
+        c.scenario = Some(spec.clone());
+        c
+    };
+    for (i, spec) in ScenarioSpec::paper_suite().iter().enumerate() {
+        let threads = if i % 2 == 0 { 1 } else { 2 };
+        let build = || System::new(scen_cfg(spec), TrafficPattern::Uniform, 0.5, full_plan());
+
+        // Uninterrupted reference.
+        let full_dir = tdir(&format!("scen-{}-full", spec.name()));
+        let p = paths(&full_dir);
+        let mut sys = build();
+        let mut sink = StreamSink::create(&p).expect("create sink");
+        let end = run_streaming(&mut sys, nz(threads), &mut sink, None).expect("full leg");
+        sink.finalize().expect("finalize");
+        let full = artifacts(&sys, end, &p);
+
+        // Crash leg: checkpoints at every window, killed mid-window.
+        let crash_dir = tdir(&format!("scen-{}-crash", spec.name()));
+        let pc = paths(&crash_dir);
+        let ckpt_dir = crash_dir.join("ckpt");
+        let mut sys = System::new(
+            scen_cfg(spec),
+            TrafficPattern::Uniform,
+            0.5,
+            full_plan().with_max_cycles(8 * WINDOW + 777),
+        );
+        let mut sink = StreamSink::create(&pc).expect("create sink");
+        let mut ck = Checkpointer::new(&ckpt_dir, 1, WINDOW).expect("checkpointer");
+        run_streaming(&mut sys, nz(threads), &mut sink, Some(&mut ck)).expect("killed leg");
+        assert!(ck.written_count() > 0, "kill must lie past a checkpoint");
+
+        // Resume leg: fresh system, newest checkpoint, run to the end.
+        let mut sys = build();
+        let (_, cursor) = resume_latest(&mut sys, &ckpt_dir).expect("no checkpoint to resume");
+        assert!(sys.now() > 0, "restore must land mid-run");
+        let mut sink = StreamSink::resume(&pc, cursor).expect("reopen sink");
+        let mut ck = Checkpointer::new(&ckpt_dir, 1, WINDOW).expect("checkpointer");
+        let end =
+            run_streaming(&mut sys, nz(threads), &mut sink, Some(&mut ck)).expect("resume leg");
+        sink.finalize().expect("finalize");
+        let resumed = artifacts(&sys, end, &pc);
+
+        assert_eq!(
+            full,
+            resumed,
+            "[{}] killed+resumed scenario run diverged ({threads} threads)",
+            spec.name()
+        );
+        let _ = std::fs::remove_dir_all(full_dir);
+        let _ = std::fs::remove_dir_all(crash_dir);
+    }
+}
+
 /// Cross-engine: a sequential full run vs a *sharded* killed+resumed run
 /// — the two engines share one byte-identity contract, checkpointing
 /// included.

@@ -6,8 +6,10 @@
 //! replaced. These fingerprints were captured from the pre-optimization
 //! engine and pin the full observable outcome of sixteen generated runs
 //! (B=4 and B=8, all four modes, uniform + complement), two fault-heavy
-//! runs, one traced run (event stream hash) and four fixture replays at
-//! B=8 — including bit-exact f64 latency/power, grant/retune/relock
+//! runs, one traced run (event stream hash) and eight fixture replays at
+//! B=8 (uniform/complement recordings plus the scenario-engine collective
+//! fixture in all four modes) — including bit-exact f64 latency/power,
+//! grant/retune/relock
 //! counts and a hash of every channel's final owner/power/level state.
 //!
 //! Any divergence — even one ULP of power, one reordered trace event —
@@ -258,12 +260,20 @@ fn run_generated(cfg: SystemConfig, pattern: TrafficPattern, load: f64) -> Finge
 /// The B=4 fixtures replayed into the B=8 system: trace node ids 0..16
 /// are valid sources in the 64-node topology, so the replay exercises the
 /// optimized engine on a sparse active set (48 nodes permanently idle).
+/// The collective fixture (recorded from the `erapid-workloads` phased
+/// all-to-all generator, see `regen_collective_fixture`) is pinned in all
+/// four modes: its comm/compute phasing is the traffic shape DPM windows
+/// and DBR rounds react to hardest.
 fn replay_cases() -> Vec<(String, NetworkMode, &'static str)> {
     let mut cases = Vec::new();
     for &mode in &[NetworkMode::NpNb, NetworkMode::PB] {
         for name in ["uniform_b4d4.ertr", "complement_b4d4.ertr"] {
             cases.push((format!("b8-replay-{}-{name}", mode.name()), mode, name));
         }
+    }
+    for mode in NetworkMode::all() {
+        let name = "collective_b4d4.ertr";
+        cases.push((format!("b8-replay-{}-{name}", mode.name()), mode, name));
     }
     cases
 }
@@ -293,6 +303,33 @@ fn run_traced() -> (Fingerprint, u64, u64) {
     let count = records.len() as u64;
     let fp = fingerprint_of(&sys);
     (fp, count, h)
+}
+
+/// Regenerates `tests/fixtures/collective_b4d4.ertr` from the scenario
+/// engine: a recorded R(1,4,4) run driven by the phased ML-collective
+/// generator at load 0.6 (the `scenarios` bench's operating point). Run
+/// manually after an intentional generator change, then reprint the pins
+/// with `regen_golden`.
+#[test]
+#[ignore = "fixture regeneration: run manually with --ignored --nocapture"]
+fn regen_collective_fixture() {
+    use erapid_suite::erapid_core::experiment::run_once_recorded;
+    use erapid_suite::erapid_workloads::ScenarioSpec;
+    let mut cfg = SystemConfig::small(NetworkMode::NpNb);
+    cfg.scenario = Some(ScenarioSpec::collective());
+    let (result, mut trace) = run_once_recorded(cfg, TrafficPattern::Uniform, 0.6, golden_plan());
+    trace.meta.pattern = "collective".to_string();
+    trace.meta.git_sha = "fixture".to_string();
+    trace
+        .save(&fixture_path("collective_b4d4.ertr"))
+        .expect("fixture saves");
+    println!(
+        "collective_b4d4.ertr: {} entries, checksum {:016x}, recording ran {} cycles (trace horizon {})",
+        trace.entries.len(),
+        trace.checksum(),
+        result.cycles,
+        trace.entries.last().map_or(0, |e| e.cycle),
+    );
 }
 
 /// Prints the pin tables below. Run manually after an intentional
@@ -683,6 +720,70 @@ const REPLAY_PINS: &[(&str, Fingerprint)] = &[
             ls_retries: 0,
             ls_aborts: 0,
             cycles: 10756,
+            lc_hash: 16521307475194934587,
+        },
+    ),
+    (
+        "b8-replay-NP-NB-collective_b4d4.ertr",
+        Fingerprint {
+            injected: 2474,
+            delivered: 2048,
+            latency_bits: 4667313488903838167,
+            power_bits: 4641319739159857936,
+            grants: 0,
+            retunes: 0,
+            relocks: 0,
+            ls_retries: 0,
+            ls_aborts: 0,
+            cycles: 26229,
+            lc_hash: 1265245039024944501,
+        },
+    ),
+    (
+        "b8-replay-NP-B-collective_b4d4.ertr",
+        Fingerprint {
+            injected: 1659,
+            delivered: 1659,
+            latency_bits: 4653335456943225734,
+            power_bits: 4645488073442557298,
+            grants: 12,
+            retunes: 0,
+            relocks: 0,
+            ls_retries: 0,
+            ls_aborts: 0,
+            cycles: 8000,
+            lc_hash: 9883641789802648691,
+        },
+    ),
+    (
+        "b8-replay-P-NB-collective_b4d4.ertr",
+        Fingerprint {
+            injected: 2474,
+            delivered: 2048,
+            latency_bits: 4667313488903838167,
+            power_bits: 4639150939279930652,
+            grants: 0,
+            retunes: 108,
+            relocks: 0,
+            ls_retries: 0,
+            ls_aborts: 0,
+            cycles: 26229,
+            lc_hash: 2944330337222417277,
+        },
+    ),
+    (
+        "b8-replay-P-B-collective_b4d4.ertr",
+        Fingerprint {
+            injected: 1659,
+            delivered: 1659,
+            latency_bits: 4653335456943225734,
+            power_bits: 4644583114468749574,
+            grants: 12,
+            retunes: 96,
+            relocks: 0,
+            ls_retries: 0,
+            ls_aborts: 0,
+            cycles: 8000,
             lc_hash: 16521307475194934587,
         },
     ),
