@@ -29,7 +29,7 @@
 //!   nonzero delivery and sequential == board-sharded == fanned-out
 //!   results, exits nonzero on any mismatch.
 
-use erapid_bench::{git_sha, BenchConfig};
+use erapid_bench::{git_sha, rank_worst_offenders, BenchConfig};
 use erapid_core::config::{NetworkMode, SystemConfig};
 use erapid_core::experiment::{run_once_traced, run_once_traced_sharded, TraceSource};
 use erapid_core::runner::{run_points_traced, run_points_traced_sharded, RunPoint};
@@ -253,8 +253,7 @@ fn main() {
 
     // The two scenarios P-B survives worst seed the resilience matrix's
     // hostile-traffic axis (faults x worst workloads).
-    pb_survival.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-    let worst: Vec<&str> = pb_survival.iter().take(2).map(|&(_, n)| n).collect();
+    let worst = rank_worst_offenders(&pb_survival, 2);
     if !worst.is_empty() {
         println!(
             "worst P-B survival: {} — the resilience bin picks these up as its hostile workloads",

@@ -205,6 +205,20 @@ impl BenchConfig {
     }
 }
 
+/// Ranks labelled survival fractions worst-first and returns the `take`
+/// worst labels — the scenario/resilience bins' hostile-workload picker.
+///
+/// Ordering is total (`f64::total_cmp`), so a NaN fraction — which a
+/// buggy metric could produce — sorts *after* every real number instead
+/// of scrambling the sort, and ties keep their input order (stable sort).
+/// Idle runs report fraction 1.0 (see `RunResult::delivered_fraction`)
+/// and therefore rank last.
+pub fn rank_worst_offenders<'a>(survival: &[(f64, &'a str)], take: usize) -> Vec<&'a str> {
+    let mut ranked = survival.to_vec();
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+    ranked.into_iter().take(take).map(|(_, n)| n).collect()
+}
+
 /// One pattern's full panel: all four configurations across the load axis.
 pub struct Panel {
     /// Pattern name.
@@ -365,6 +379,30 @@ mod tests {
             quick: true,
             ..BenchConfig::default()
         }
+    }
+
+    #[test]
+    fn worst_offenders_rank_lowest_survival_first() {
+        let survival = [(0.9, "a"), (0.4, "b"), (1.0, "c"), (0.7, "d")];
+        assert_eq!(rank_worst_offenders(&survival, 2), vec!["b", "d"]);
+        // Asking for more than available returns everything, ranked.
+        assert_eq!(rank_worst_offenders(&survival, 9), vec!["b", "d", "a", "c"]);
+        assert!(rank_worst_offenders(&[], 2).is_empty());
+    }
+
+    #[test]
+    fn worst_offenders_nan_ranks_last_and_idle_runs_rank_after_lossy() {
+        // total_cmp: NaN sorts after +inf, so a poisoned fraction can
+        // never displace a real worst offender; an idle run's 1.0 (the
+        // injected == 0 guard) ranks after any lossy run.
+        let survival = [(f64::NAN, "nan"), (1.0, "idle"), (0.2, "lossy")];
+        assert_eq!(
+            rank_worst_offenders(&survival, 3),
+            vec!["lossy", "idle", "nan"]
+        );
+        // Ties keep input order (stable sort).
+        let tied = [(0.5, "first"), (0.5, "second")];
+        assert_eq!(rank_worst_offenders(&tied, 2), vec!["first", "second"]);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::error::ErapidError;
 use crate::faults::FaultPlan;
 use erapid_telemetry::TraceConfig;
+use erapid_tune::ControllerSpec;
 use erapid_workloads::ScenarioSpec;
 use photonics::bitrate::RateLadder;
 use photonics::fiber::Fiber;
@@ -126,6 +127,13 @@ pub struct SystemConfig {
     /// Overrides the DPM thresholds the mode would imply (None = use
     /// [`NetworkMode::dpm_policy`]). Ignored in non-power-aware modes.
     pub dpm_override: Option<DpmPolicy>,
+    /// Online threshold auto-tuning (DESIGN.md §15). When set in a
+    /// power-aware mode, a [`erapid_tune::ThresholdController`] seeded from
+    /// this spec adapts the live DPM thresholds at Power-kind `R_w`
+    /// boundaries, preempting both the mode preset and `dpm_override`.
+    /// Ignored in non-power-aware modes; None (the default) keeps the
+    /// paper-constant thresholds.
+    pub tune: Option<ControllerSpec>,
     /// Bursty sources (None = Bernoulli, the paper's model).
     pub burst: Option<BurstSpec>,
     /// Production-shaped workload scenario. When set, injection comes from
@@ -178,6 +186,7 @@ impl SystemConfig {
             transition: TransitionModel::paper(),
             alloc: AllocPolicy::paper(),
             dpm_override: None,
+            tune: None,
             burst: None,
             scenario: None,
             control_plane: ControlPlane::default(),
@@ -280,6 +289,10 @@ impl SystemConfig {
             spec.validate(self.nodes())
                 .map_err(|e| ErapidError::Config(e.0))?;
         }
+        if let Some(spec) = &self.tune {
+            spec.try_validate()
+                .map_err(|e| ErapidError::Config(e.to_string()))?;
+        }
         self.faults.validate(self.boards)?;
         Ok(())
     }
@@ -378,6 +391,17 @@ mod tests {
         let mut bad = ScenarioSpec::hotspot();
         bad.rate_scale = f64::NAN;
         c.scenario = Some(bad);
+        assert!(matches!(c.try_validate(), Err(ErapidError::Config(_))));
+    }
+
+    #[test]
+    fn tune_specs_are_validated() {
+        let mut c = SystemConfig::small(NetworkMode::PB);
+        c.tune = Some(ControllerSpec::paper_pb());
+        assert!(c.try_validate().is_ok());
+        let mut bad = ControllerSpec::paper_pb();
+        bad.l_min_milli = 950; // inverted band
+        c.tune = Some(bad);
         assert!(matches!(c.try_validate(), Err(ErapidError::Config(_))));
     }
 

@@ -338,6 +338,36 @@ mod tests {
     use super::*;
 
     #[test]
+    fn delivered_fraction_guards_zero_injection() {
+        // Regression: an idle run (scenario window with no generators
+        // active, or a zero-load point) must rank as fully delivered, not
+        // NaN — the scenario bench sorts by this value and a NaN would
+        // poison the worst-offender ranking.
+        let mut r = RunResult {
+            load: 0.0,
+            throughput: 0.0,
+            throughput_norm: 0.0,
+            latency: 0.0,
+            latency_p95: 0.0,
+            power_mw: 0.0,
+            src_path: 0.0,
+            tx_wait: 0.0,
+            undrained: 0,
+            grants: 0,
+            retunes: 0,
+            ls_retries: 0,
+            ls_aborts: 0,
+            injected: 0,
+            delivered: 0,
+            cycles: 0,
+        };
+        assert_eq!(r.delivered_fraction(), 1.0);
+        r.injected = 4;
+        r.delivered = 3;
+        assert!((r.delivered_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
     fn paper_loads_axis() {
         let l = paper_loads();
         assert_eq!(l.len(), 9);

@@ -24,6 +24,7 @@ use erapid_telemetry::{
     CounterId, FaultLabel, GaugeId, HistId, HistogramSummary, LsStageLabel, MetricRegistry,
     TraceEvent, TraceRecord, TraceSink, Tracer, WindowLabel, WindowSnapshot,
 };
+use erapid_tune::{ThresholdController, WindowObservation};
 use erapid_workloads::ScenarioEngine;
 use photonics::wavelength::{BoardId, Wavelength};
 use reconfig::alloc::{FlowDemand, IncomingLink};
@@ -100,6 +101,11 @@ pub struct System {
     /// active set mutates as packets depart, so `transmit` iterates a
     /// copy).
     ready_scratch: Vec<u16>,
+    /// Online threshold auto-tuner (None unless `cfg.tune` is set in a
+    /// power-aware mode). Stepped at Power-kind `R_w` boundaries inside
+    /// the *sequential prologue*, so the board-sharded engine stays
+    /// byte-identical (DESIGN.md §15).
+    controller: Option<ThresholdController>,
 }
 
 /// Wall-time spent per engine phase over a profiled run — the breakdown
@@ -234,8 +240,21 @@ impl System {
         let metrics = RunMetrics::new(nodes as usize, plan);
         let tracer = Tracer::from_config(cfg.trace);
         let registry = cfg.trace.enabled.then(build_registry);
+        // `validate()` above already vetted any tune spec, so construction
+        // cannot fail here; a controller only exists where DPM runs.
+        let controller = match (&cfg.tune, cfg.mode.power_aware()) {
+            (Some(spec), true) => ThresholdController::new(*spec).ok(),
+            _ => None,
+        };
+        // With auto-tuning on, the telemetry edge detectors track the
+        // controller's live `B_max` (starting at its initial value, and
+        // retargeted whenever it moves); otherwise the static DBR trigger.
+        let watch_b_max = match &controller {
+            Some(c) => c.thresholds_milli().2 as f64 / 1000.0,
+            None => cfg.alloc.b_max,
+        };
         let buffer_watch = if cfg.trace.enabled {
-            vec![ThresholdWatch::new(cfg.alloc.b_max); cfg.boards as usize * cfg.boards as usize]
+            vec![ThresholdWatch::new(watch_b_max); cfg.boards as usize * cfg.boards as usize]
         } else {
             Vec::new()
         };
@@ -276,6 +295,7 @@ impl System {
             watch_pending,
             buffer_watch,
             ready_scratch: Vec::new(),
+            controller,
         }
     }
 
@@ -521,12 +541,82 @@ impl System {
             self.boundary_telemetry(now);
         }
         match self.cfg.schedule.kind_at(now) {
-            Some(WindowKind::Power) if self.cfg.mode.power_aware() => self.power_cycle(now),
+            Some(WindowKind::Power) if self.cfg.mode.power_aware() => {
+                // The controller steps first so the thresholds it derives
+                // from the just-closed window govern this Power cycle. Both
+                // calls sit in the sequential prologue of either engine, so
+                // the sharded run replays them identically (DESIGN.md §15).
+                self.controller_cycle();
+                self.power_cycle(now);
+            }
             Some(WindowKind::Bandwidth) if self.cfg.mode.bandwidth_reconfig() => {
                 self.bandwidth_cycle(now)
             }
             _ => {}
         }
+    }
+
+    /// One auto-tuning step (DESIGN.md §15): scan the just-closed window's
+    /// lit channels in canonical ascending `(dest, wavelength)` order —
+    /// the exact order [`Self::power_cycle`] visits them — into integer
+    /// milli counts, feed them to the controller, and when `B_max` moved,
+    /// retarget the telemetry edge detectors (un-parking every flow, since
+    /// a parked flow's steady value may sit on the other side of the new
+    /// threshold). No-op unless the config enabled tuning. Deliberately
+    /// independent of the metric registry: the controller must drive
+    /// untraced runs (golden, marathon, streaming) identically.
+    fn controller_cycle(&mut self) {
+        let Some(ctrl) = &self.controller else {
+            return;
+        };
+        let (l_min_milli, _, b_max_milli) = ctrl.thresholds_milli();
+        let boards = self.cfg.boards;
+        let wavelengths = self.cfg.wavelengths();
+        let mut obs = WindowObservation::default();
+        for d in 0..boards {
+            for w in 0..wavelengths {
+                let Some(s) = self.srs.owner(d, w) else {
+                    continue;
+                };
+                if !self.srs.channel(s, d, w).is_on() {
+                    continue;
+                }
+                let link_milli = (self.srs.link_util(s, d, w) * 1000.0).round() as u32;
+                let buf_milli = (self.boards[s as usize].buffer_util(d) * 1000.0).round() as u32;
+                obs.lit += 1;
+                obs.pressured += u32::from(buf_milli > b_max_milli);
+                obs.idle += u32::from(link_milli < l_min_milli);
+            }
+        }
+        let Some(ctrl) = &mut self.controller else {
+            return;
+        };
+        let before_b_max = ctrl.thresholds_milli().2;
+        ctrl.observe_window(obs);
+        let after_b_max = ctrl.thresholds_milli().2;
+        if before_b_max != after_b_max {
+            let target = after_b_max as f64 / 1000.0;
+            for watch in &mut self.buffer_watch {
+                watch.retarget(target);
+            }
+            self.watch_pending.fill(true);
+        }
+    }
+
+    /// The DPM thresholds this system applies at Power boundaries: the
+    /// live controller's when auto-tuning is on, else the config's
+    /// (override or mode preset).
+    fn effective_dpm_policy(&self) -> Option<powermgmt::policy::DpmPolicy> {
+        match &self.controller {
+            Some(c) => Some(c.policy()),
+            None => self.cfg.dpm_policy(),
+        }
+    }
+
+    /// The live auto-tuning controller, when enabled (inspection: tests
+    /// pin its thresholds/moves across engines and checkpoint legs).
+    pub fn controller(&self) -> Option<&ThresholdController> {
+        self.controller.as_ref()
     }
 
     /// Traced-run bookkeeping at an `R_w` boundary: stamp the boundary,
@@ -600,7 +690,7 @@ impl System {
     /// DPM: every lit channel's LC compares the previous window's
     /// `Link_util`/`Buffer_util` against the thresholds and retunes.
     fn power_cycle(&mut self, now: Cycle) {
-        let Some(policy) = self.cfg.dpm_policy() else {
+        let Some(policy) = self.effective_dpm_policy() else {
             return;
         };
         let boards = self.cfg.boards;
@@ -1308,6 +1398,10 @@ impl System {
         if let Some(sc) = &self.scenario {
             sc.save_state(w);
         }
+        w.bool(self.controller.is_some());
+        if let Some(c) = &self.controller {
+            c.save_state(w);
+        }
         Ok(())
     }
 
@@ -1383,6 +1477,19 @@ impl System {
         presence(r.bool()?, self.scenario.is_some(), "a scenario source")?;
         if let Some(sc) = &mut self.scenario {
             sc.load_state(r)?;
+        }
+        presence(r.bool()?, self.controller.is_some(), "a tuning controller")?;
+        if let Some(c) = &mut self.controller {
+            c.load_state(r)?;
+            // The freshly-built watches carry the config's `B_max`; the
+            // killed run's watches had been retargeted to the controller's
+            // live value. Reproduce that (the snapshot's hysteresis sides
+            // and park flags — loaded above/below — already correspond to
+            // it, so no un-parking here).
+            let target = c.thresholds_milli().2 as f64 / 1000.0;
+            for watch in &mut self.buffer_watch {
+                watch.retarget(target);
+            }
         }
         self.now = now;
         self.next_packet_id = next_packet_id;

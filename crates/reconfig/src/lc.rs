@@ -168,6 +168,23 @@ impl ThresholdWatch {
         }
     }
 
+    /// Moves the watched threshold (the auto-tuning controller's
+    /// application seam): returns whether it actually changed.
+    ///
+    /// Contract: retargeting to the current threshold is a no-op, and a
+    /// retarget never signals by itself — the hysteresis side is only
+    /// re-evaluated at the next [`ThresholdWatch::observe`]. Callers that
+    /// park flows on the repeat-observation contract must therefore
+    /// un-park every flow when this returns `true` (a parked flow's
+    /// steady value may sit on the other side of the new threshold).
+    pub fn retarget(&mut self, b_max: f64) -> bool {
+        if self.b_max == b_max {
+            return false;
+        }
+        self.b_max = b_max;
+        true
+    }
+
     /// Serializes the hysteresis side (`b_max` is config-derived).
     pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
         w.bool(self.above);
@@ -304,6 +321,21 @@ mod tests {
         // Crossing back down fires the falling edge.
         assert_eq!(watch.observe(0.2), Some(false));
         assert_eq!(watch.observe(0.2), None);
+    }
+
+    #[test]
+    fn retarget_moves_threshold_without_signalling() {
+        let mut watch = ThresholdWatch::new(0.3);
+        assert_eq!(watch.observe(0.5), Some(true));
+        // Same threshold: no-op.
+        assert!(!watch.retarget(0.3));
+        // New threshold: no signal until the next observation, which then
+        // re-evaluates the side against the new value.
+        assert!(watch.retarget(0.6));
+        assert!(watch.is_above(), "retarget must not flip the side itself");
+        assert_eq!(watch.observe(0.5), Some(false));
+        // And crossing the new threshold fires as usual.
+        assert_eq!(watch.observe(0.7), Some(true));
     }
 
     #[test]

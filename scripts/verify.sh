@@ -42,6 +42,17 @@ echo "== scenarios smoke (workload generators: seq == sharded == fanned) =="
 # exits nonzero when delivery is zero or any engine pair diverges.
 cargo run --release -q -p erapid-bench --bin scenarios -- --smoke
 
+echo "== autotune smoke (sweep: seq == sharded, chosen beats paper baseline) =="
+if [ "${ERAPID_SKIP_TUNE_SMOKE:-0}" = "1" ]; then
+    echo "autotune smoke: skipped (ERAPID_SKIP_TUNE_SMOKE=1)"
+else
+    # The smoke grid on two hostile scenarios (small P-B system): every
+    # operating point and the controller-enabled leg must be byte-identical
+    # sequential vs board-sharded, and the chosen point must beat the
+    # paper-constant baseline objective on >=1 scenario (DESIGN.md §15).
+    cargo run --release -q -p erapid-bench --bin autotune -- --smoke
+fi
+
 echo "== resilience smoke (quick fault-scenario matrix) =="
 ERAPID_QUICK=1 cargo run --release -q -p erapid-bench --bin resilience > /dev/null
 rm -f RESILIENCE_*.json

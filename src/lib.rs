@@ -9,6 +9,7 @@ pub use desim;
 pub use emesh;
 pub use erapid_core;
 pub use erapid_telemetry;
+pub use erapid_tune;
 pub use erapid_workloads;
 pub use netstats;
 pub use photonics;

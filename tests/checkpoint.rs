@@ -228,6 +228,78 @@ fn scenario_kill_resume_byte_identical() {
     }
 }
 
+/// The kill/resume contract holds with the online threshold controller
+/// live on a scenario workload: the controller's milli-unit thresholds and
+/// counters ride the snapshot (tag `TUNC`), and the restore retargets the
+/// DBR buffer watches to the restored `B_max`, so a resumed run adapts
+/// exactly like the uninterrupted one — both engines.
+#[test]
+fn controller_kill_resume_byte_identical() {
+    use erapid_suite::erapid_tune::ControllerSpec;
+    use erapid_suite::erapid_workloads::ScenarioSpec;
+    let tuned_cfg = || {
+        let mut c = cfg(NetworkMode::PB);
+        c.scenario = Some(ScenarioSpec::incast());
+        c.tune = Some(ControllerSpec::paper_pb());
+        c
+    };
+    for threads in [1usize, 2] {
+        let build = || System::new(tuned_cfg(), TrafficPattern::Uniform, 0.5, full_plan());
+
+        // Uninterrupted reference.
+        let full_dir = tdir(&format!("tune-{threads}-full"));
+        let p = paths(&full_dir);
+        let mut sys = build();
+        let mut sink = StreamSink::create(&p).expect("create sink");
+        let end = run_streaming(&mut sys, nz(threads), &mut sink, None).expect("full leg");
+        sink.finalize().expect("finalize");
+        let full = artifacts(&sys, end, &p);
+        let full_ctrl = sys.controller().expect("controller is on").clone();
+        assert!(
+            full_ctrl.windows_seen() > 0,
+            "controller must observe windows in the reference run"
+        );
+
+        // Crash leg: checkpoints every window, killed mid-window.
+        let crash_dir = tdir(&format!("tune-{threads}-crash"));
+        let pc = paths(&crash_dir);
+        let ckpt_dir = crash_dir.join("ckpt");
+        let mut sys = System::new(
+            tuned_cfg(),
+            TrafficPattern::Uniform,
+            0.5,
+            full_plan().with_max_cycles(8 * WINDOW + 777),
+        );
+        let mut sink = StreamSink::create(&pc).expect("create sink");
+        let mut ck = Checkpointer::new(&ckpt_dir, 1, WINDOW).expect("checkpointer");
+        run_streaming(&mut sys, nz(threads), &mut sink, Some(&mut ck)).expect("killed leg");
+        assert!(ck.written_count() > 0, "kill must lie past a checkpoint");
+
+        // Resume leg.
+        let mut sys = build();
+        let (_, cursor) = resume_latest(&mut sys, &ckpt_dir).expect("no checkpoint to resume");
+        assert!(sys.now() > 0, "restore must land mid-run");
+        let mut sink = StreamSink::resume(&pc, cursor).expect("reopen sink");
+        let mut ck = Checkpointer::new(&ckpt_dir, 1, WINDOW).expect("checkpointer");
+        let end =
+            run_streaming(&mut sys, nz(threads), &mut sink, Some(&mut ck)).expect("resume leg");
+        sink.finalize().expect("finalize");
+        let resumed = artifacts(&sys, end, &pc);
+
+        assert_eq!(
+            full, resumed,
+            "killed+resumed controller run diverged ({threads} threads)"
+        );
+        assert_eq!(
+            sys.controller().expect("controller is on"),
+            &full_ctrl,
+            "resumed controller state diverged ({threads} threads)"
+        );
+        let _ = std::fs::remove_dir_all(full_dir);
+        let _ = std::fs::remove_dir_all(crash_dir);
+    }
+}
+
 /// Cross-engine: a sequential full run vs a *sharded* killed+resumed run
 /// — the two engines share one byte-identity contract, checkpointing
 /// included.

@@ -257,6 +257,41 @@ fn run_generated(cfg: SystemConfig, pattern: TrafficPattern, load: f64) -> Finge
     fingerprint(System::new(cfg, pattern, load, golden_plan()))
 }
 
+/// Controller-on runs: the online threshold controller (`erapid-tune`,
+/// DESIGN.md §15) live-adapting `L_min`/`L_max`/`B_max` at every window
+/// boundary, driven by the two hostile scenario generators it was built
+/// for. Pinned in both power-aware modes: any drift in the controller's
+/// integer decision rule, its observation joins, or its placement in the
+/// sequential prologue shows up here as a diverged retune count, power
+/// bit-pattern or final LC-level hash.
+fn controller_cases() -> Vec<(String, SystemConfig)> {
+    use erapid_suite::erapid_tune::ControllerSpec;
+    use erapid_suite::erapid_workloads::ScenarioSpec;
+    let mut cases = Vec::new();
+    for mode in [NetworkMode::PNb, NetworkMode::PB] {
+        for scenario in [ScenarioSpec::hotspot(), ScenarioSpec::incast()] {
+            let mut cfg = SystemConfig::small(mode);
+            let sname = scenario.name().to_string();
+            cfg.scenario = Some(scenario);
+            cfg.tune = Some(match mode {
+                NetworkMode::PNb => ControllerSpec::paper_pnb(),
+                _ => ControllerSpec::paper_pb(),
+            });
+            cases.push((format!("b4-ctl-{}-{sname}", mode.name()), cfg));
+        }
+    }
+    cases
+}
+
+fn run_controller(cfg: SystemConfig) -> Fingerprint {
+    fingerprint(System::new(
+        cfg,
+        TrafficPattern::Uniform,
+        0.5,
+        golden_plan(),
+    ))
+}
+
 /// The B=4 fixtures replayed into the B=8 system: trace node ids 0..16
 /// are valid sources in the 64-node topology, so the replay exercises the
 /// optimized engine on a sparse active set (48 nodes permanently idle).
@@ -343,6 +378,10 @@ fn regen_golden() {
     }
     for (name, mode, fixture) in replay_cases() {
         let fp = run_replay(mode, fixture);
+        println!("    (\"{name}\", {fp:?}),");
+    }
+    for (name, cfg) in controller_cases() {
+        let fp = run_controller(cfg);
         println!("    (\"{name}\", {fp:?}),");
     }
     let (fp, count, hash) = run_traced();
@@ -789,6 +828,74 @@ const REPLAY_PINS: &[(&str, Fingerprint)] = &[
     ),
 ];
 
+/// Controller-on scenario runs (see [`controller_cases`]).
+const CONTROLLER_PINS: &[(&str, Fingerprint)] = &[
+    (
+        "b4-ctl-P-NB-hotspot",
+        Fingerprint {
+            injected: 1264,
+            delivered: 1239,
+            latency_bits: 4641016930414858553,
+            power_bits: 4642433742342091934,
+            grants: 0,
+            retunes: 14,
+            relocks: 0,
+            ls_retries: 0,
+            ls_aborts: 0,
+            cycles: 8478,
+            lc_hash: 7826037061746157341,
+        },
+    ),
+    (
+        "b4-ctl-P-NB-incast",
+        Fingerprint {
+            injected: 4184,
+            delivered: 2803,
+            latency_bits: 4662619224191110908,
+            power_bits: 4640177234293539168,
+            grants: 0,
+            retunes: 29,
+            relocks: 0,
+            ls_retries: 0,
+            ls_aborts: 0,
+            cycles: 21675,
+            lc_hash: 1819073029482769536,
+        },
+    ),
+    (
+        "b4-ctl-P-B-hotspot",
+        Fingerprint {
+            injected: 1264,
+            delivered: 1236,
+            latency_bits: 4641426172040765963,
+            power_bits: 4641974739194681859,
+            grants: 0,
+            retunes: 15,
+            relocks: 0,
+            ls_retries: 0,
+            ls_aborts: 0,
+            cycles: 8478,
+            lc_hash: 632281766696936106,
+        },
+    ),
+    (
+        "b4-ctl-P-B-incast",
+        Fingerprint {
+            injected: 4198,
+            delivered: 2825,
+            latency_bits: 4662628974373311458,
+            power_bits: 4639867577854510177,
+            grants: 0,
+            retunes: 18,
+            relocks: 0,
+            ls_retries: 0,
+            ls_aborts: 0,
+            cycles: 21915,
+            lc_hash: 12854156507887582875,
+        },
+    ),
+];
+
 const TRACED_PIN: (Fingerprint, u64, u64) = (
     Fingerprint {
         injected: 1399,
@@ -826,6 +933,38 @@ fn fixture_replays_match_pinned_fingerprints_at_b8() {
         assert_eq!(&name, pin_name, "pin table order drifted");
         let got = run_replay(mode, fixture);
         assert_eq!(&got, pin, "fingerprint diverged for {name}");
+    }
+}
+
+#[test]
+fn controller_runs_match_pinned_fingerprints() {
+    let cases = controller_cases();
+    assert_eq!(cases.len(), CONTROLLER_PINS.len(), "pin table out of date");
+    for ((name, cfg), (pin_name, pin)) in cases.into_iter().zip(CONTROLLER_PINS) {
+        assert_eq!(&name, pin_name, "pin table order drifted");
+        let got = run_controller(cfg);
+        assert_eq!(&got, pin, "fingerprint diverged for {name}");
+    }
+}
+
+/// The sharded engine reproduces the controller pins exactly — the
+/// controller steps in the sequential prologue (DESIGN.md §15), so worker
+/// count must not perturb a single threshold move.
+#[test]
+fn sharded_controller_runs_match_pinned_fingerprints() {
+    use std::num::NonZeroUsize;
+    let two = NonZeroUsize::new(2).unwrap();
+    let cases = controller_cases();
+    assert_eq!(cases.len(), CONTROLLER_PINS.len(), "pin table out of date");
+    for ((name, cfg), (pin_name, pin)) in cases.into_iter().zip(CONTROLLER_PINS) {
+        assert_eq!(&name, pin_name, "pin table order drifted");
+        let mut sys = System::new(cfg, TrafficPattern::Uniform, 0.5, golden_plan());
+        sys.run_sharded(two);
+        assert_eq!(
+            &fingerprint_of(&sys),
+            pin,
+            "sharded controller fingerprint diverged for {name} at 2 workers"
+        );
     }
 }
 
