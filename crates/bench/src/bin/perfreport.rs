@@ -9,7 +9,9 @@
 //! * per-point wall times next to the scheduler's cost estimate (the
 //!   feedback loop on longest-first dispatch),
 //! * a per-phase wall-time breakdown (reconfig / inject / route /
-//!   optical / stats) from a profiled representative run,
+//!   optical / stats) from a profiled representative run, including the
+//!   route-phase share (`route_frac`) that `--smoke` gates against
+//!   regression,
 //! * a fixed reduced-grid smoke rate (`cycles_per_sec_smoke`) that
 //!   `verify.sh` re-measures via `--smoke` and compares against the
 //!   committed baseline, failing on a >20% regression,
@@ -144,17 +146,22 @@ fn check_intra_point(workers: NonZeroUsize, strict: bool) -> f64 {
     sp
 }
 
-/// Extracts `"cycles_per_sec_smoke": <number>` from a baseline JSON blob
-/// (no serde in the workspace — the artifact format is ours, a string
-/// scan is exact enough).
-fn parse_smoke_rate(json: &str) -> Option<f64> {
-    let key = "\"cycles_per_sec_smoke\":";
-    let at = json.find(key)? + key.len();
+/// Extracts `"<key>": <number>` from a baseline JSON blob (no serde in
+/// the workspace — the artifact format is ours, a string scan is exact
+/// enough).
+fn parse_f64_field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
     let rest = json[at..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts `"cycles_per_sec_smoke": <number>` from a baseline JSON blob.
+fn parse_smoke_rate(json: &str) -> Option<f64> {
+    parse_f64_field(json, "cycles_per_sec_smoke")
 }
 
 /// Best committed smoke baseline: the max `cycles_per_sec_smoke` across
@@ -183,14 +190,36 @@ fn baseline_smoke_rate(explicit: Option<&str>) -> Option<(String, f64)> {
     best
 }
 
+/// Profiles the representative point (paper64 P-B complement at 0.5 —
+/// DPM + DBR + full traffic, every phase exercised), returning the phase
+/// timers and the simulated cycle count.
+fn profile_representative() -> (PhaseTimers, u64) {
+    let cfg = SystemConfig::paper64(NetworkMode::PB);
+    let plan = default_plan(cfg.schedule.window);
+    let mut sys = System::new(cfg, TrafficPattern::Complement, 0.5, plan);
+    let mut timers = PhaseTimers::default();
+    let cycles = sys.run_profiled(&mut timers);
+    (timers, cycles)
+}
+
+/// Route-phase share of total cycle time.
+fn route_frac(t: &PhaseTimers) -> f64 {
+    t.route.as_secs_f64() / t.total().as_secs_f64().max(1e-9)
+}
+
 /// `--smoke` mode: re-measure the reduced grid and fail (exit 1) when the
-/// rate regressed more than 20% below the committed baseline, then gate
-/// the intra-point sharded speedup the same way. With no baseline
-/// carrying the field yet, the rate measurement is informational.
+/// rate regressed more than 20% below the committed baseline; likewise
+/// fail when the route-phase *share* of the representative profile grew
+/// more than 20% over the baseline's `route_frac` (a share gate is
+/// box-speed independent — it catches the router hot path slipping back
+/// toward dominating the cycle). Then gate the intra-point sharded
+/// speedup. With no baseline carrying a field yet, that measurement is
+/// informational.
 fn run_smoke(baseline_path: Option<&str>, seq_flag: bool) {
     let (rate, cycles) = measure_smoke();
     println!("smoke: {rate:.0} sim cycles/sec ({cycles} cycles, reduced grid, 1 thread)");
-    match baseline_smoke_rate(baseline_path) {
+    let baseline = baseline_smoke_rate(baseline_path);
+    match &baseline {
         Some((path, base)) => {
             let floor = 0.8 * base;
             println!("baseline {path}: {base:.0} cycles/sec (floor {floor:.0})");
@@ -201,6 +230,32 @@ fn run_smoke(baseline_path: Option<&str>, seq_flag: bool) {
             println!("OK: within 20% of baseline");
         }
         None => println!("no committed baseline with cycles_per_sec_smoke; recording only"),
+    }
+    let (timers, _) = profile_representative();
+    let frac = route_frac(&timers);
+    println!(
+        "smoke: route-phase share {:.1}% of cycle time",
+        100.0 * frac
+    );
+    match baseline
+        .as_ref()
+        .and_then(|(path, _)| Some((path, std::fs::read_to_string(path).ok()?)))
+        .and_then(|(path, json)| Some((path.clone(), parse_f64_field(&json, "route_frac")?)))
+    {
+        Some((path, base)) => {
+            let ceiling = 1.2 * base;
+            println!(
+                "baseline {path}: route share {:.1}% (ceiling {:.1}%)",
+                100.0 * base,
+                100.0 * ceiling
+            );
+            if frac > ceiling {
+                eprintln!("FAIL: route-phase share regressed >20% vs committed baseline");
+                std::process::exit(1);
+            }
+            println!("OK: route share within 20% of baseline");
+        }
+        None => println!("no committed baseline with route_frac; recording only"),
     }
     check_intra_point(intra_point_workers(seq_flag), true);
 }
@@ -318,13 +373,10 @@ fn main() {
 
     // Per-phase breakdown of one representative point (P-B complement at
     // 0.5 exercises every phase: DPM + DBR + full traffic).
-    let prof_cfg = SystemConfig::paper64(NetworkMode::PB);
-    let prof_plan = default_plan(prof_cfg.schedule.window);
-    let mut prof_sys = System::new(prof_cfg, TrafficPattern::Complement, 0.5, prof_plan);
-    let mut timers = PhaseTimers::default();
-    let prof_cycles = prof_sys.run_profiled(&mut timers);
+    let (timers, prof_cycles) = profile_representative();
     let prof_total = timers.total().as_secs_f64().max(1e-9);
     let frac = |d: std::time::Duration| d.as_secs_f64() / prof_total;
+    let prof_route_frac = route_frac(&timers);
     println!(
         "  phase profile (P-B complement 0.5, {prof_cycles} cycles): \
          reconfig {:.1}%  inject {:.1}%  route {:.1}%  optical {:.1}%  stats {:.1}%",
@@ -368,7 +420,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"git_sha\": \"{sha}\",\n  \"threads\": {threads},\n  \"workload\": {{\"system\": \"paper64\", \"modes\": 4, \"patterns\": [\"uniform\", \"complement\"], \"loads\": [0.2, 0.5, 0.8]}},\n  \"panels\": [\n{panels}\n  ],\n  \"phase_profile\": {{\n    \"workload\": \"paper64 P-B complement 0.5\",\n    \"cycles\": {prof_cycles},\n    \"reconfig_s\": {reconf:.6},\n    \"inject_s\": {inject:.6},\n    \"route_s\": {route:.6},\n    \"optical_s\": {optical:.6},\n    \"stats_s\": {stats:.6}\n  }},\n  \"totals\": {{\n    \"sequential_s\": {seq_total:.6},\n    \"parallel_s\": {par_total:.6},\n    \"speedup\": {speedup:.3},\n    \"sim_cycles\": {cycles_total},\n    \"cycles_per_sec_single\": {cps_single:.0},\n    \"cycles_per_sec_parallel\": {cps_parallel:.0},\n    \"cycles_per_sec_smoke\": {cps_smoke:.0},\n    \"intra_point_workers\": {ip_workers},\n    \"intra_point_speedup\": {intra_point_speedup:.3}\n  }},\n  \"peak_rss_kb\": {rss},\n  \"parallel_identical\": true\n}}\n",
+        "{{\n  \"git_sha\": \"{sha}\",\n  \"threads\": {threads},\n  \"workload\": {{\"system\": \"paper64\", \"modes\": 4, \"patterns\": [\"uniform\", \"complement\"], \"loads\": [0.2, 0.5, 0.8]}},\n  \"panels\": [\n{panels}\n  ],\n  \"phase_profile\": {{\n    \"workload\": \"paper64 P-B complement 0.5\",\n    \"cycles\": {prof_cycles},\n    \"reconfig_s\": {reconf:.6},\n    \"inject_s\": {inject:.6},\n    \"route_s\": {route:.6},\n    \"optical_s\": {optical:.6},\n    \"stats_s\": {stats:.6},\n    \"route_frac\": {prof_route_frac:.4}\n  }},\n  \"totals\": {{\n    \"sequential_s\": {seq_total:.6},\n    \"parallel_s\": {par_total:.6},\n    \"speedup\": {speedup:.3},\n    \"sim_cycles\": {cycles_total},\n    \"cycles_per_sec_single\": {cps_single:.0},\n    \"cycles_per_sec_parallel\": {cps_parallel:.0},\n    \"cycles_per_sec_smoke\": {cps_smoke:.0},\n    \"intra_point_workers\": {ip_workers},\n    \"intra_point_speedup\": {intra_point_speedup:.3}\n  }},\n  \"peak_rss_kb\": {rss},\n  \"parallel_identical\": true\n}}\n",
         threads = cfg.threads,
         panels = panel_json.join(",\n"),
         reconf = timers.reconfig.as_secs_f64(),

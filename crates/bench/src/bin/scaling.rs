@@ -16,7 +16,10 @@
 //! complement point timed with the board-sharded engine, DESIGN.md §12,
 //! against the sequential engine — identical results asserted), so the
 //! O(B²) state and O(B³) channel-bank growth *and* the intra-point
-//! parallel yield are tracked across commits. The JSON records the actual
+//! parallel yield are tracked across commits. A `route_comparison` object
+//! additionally pins this run's B=32 route-phase cycles/sec against the
+//! best committed artifact, so router hot-path speedups (e.g. the bitset
+//! rewrite, DESIGN.md §16) are visible in the artifact trajectory. The JSON records the actual
 //! run-level and point-level worker counts in use plus the machine's
 //! hardware thread count, so a figure from a 1-core CI box is
 //! distinguishable from a workstation run.
@@ -75,6 +78,62 @@ fn peak_rss_kb() -> u64 {
                 .and_then(|v| v.parse().ok())
         })
         .unwrap_or(0)
+}
+
+/// Extracts `"<key>": <number>` from a JSON fragment (no serde in the
+/// workspace — the artifact format is ours, a string scan is exact
+/// enough).
+fn parse_num(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Best committed B=32 route-phase rate: scans `SCALING_*.json` artifacts
+/// in the working directory for the B=32 phase profile and returns
+/// (file, route-phase cycles/sec). This is the "before" of the route
+/// comparison row — the current run supplies the "after", making router
+/// hot-path speedups visible in the committed artifact trajectory.
+fn committed_route_rate() -> Option<(String, f64)> {
+    let mut best: Option<(String, f64)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("SCALING_") && name.ends_with(".json")) {
+            continue;
+        }
+        let Ok(json) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        // The B=32 entry under "phase_profiles" (the "rows" array above it
+        // also mentions boards 32, so anchor past the key first).
+        let Some(profs) = json.find("\"phase_profiles\"") else {
+            continue;
+        };
+        let tail = &json[profs..];
+        let Some(b32) = tail.find("\"boards\": 32") else {
+            continue;
+        };
+        let seg = match tail[b32..].find('}') {
+            Some(e) => &tail[b32..b32 + e],
+            None => &tail[b32..],
+        };
+        let (Some(cycles), Some(route_s)) = (parse_num(seg, "cycles"), parse_num(seg, "route_s"))
+        else {
+            continue;
+        };
+        if route_s <= 0.0 {
+            continue;
+        }
+        let rate = cycles / route_s;
+        if best.as_ref().is_none_or(|(_, r)| rate > *r) {
+            best = Some((name, rate));
+        }
+    }
+    best
 }
 
 /// Per-B profile: one P-B complement run stepped with phase timers, plus
@@ -228,6 +287,45 @@ fn main() {
     let rss = peak_rss_kb();
     println!("  peak RSS: {rss} kB");
 
+    // Route-phase before/after at B=32: this run's route rate against the
+    // best committed SCALING artifact (read before this run's file is
+    // written, so "before" is always a prior commit's number).
+    let b32 = profiles
+        .last()
+        .expect("BOARDS sweep is non-empty, ends at B=32");
+    let b32_route_s = b32.timers.route.as_secs_f64();
+    let after_rate = b32.cycles as f64 / b32_route_s.max(1e-9);
+    let before = committed_route_rate();
+    let route_cmp_json = match &before {
+        Some((file, before_rate)) => {
+            println!(
+                "\nroute-phase comparison (B=32, P-B complement): \
+                 {before_rate:.0} -> {after_rate:.0} route cycles/sec \
+                 ({:.2}x vs {file})",
+                after_rate / before_rate.max(1e-9)
+            );
+            format!(
+                "  \"route_comparison\": {{\"boards\": 32, \"cycles\": {}, \"route_s\": {:.6}, \"route_cycles_per_sec\": {:.0}, \"baseline_file\": \"{}\", \"baseline_route_cycles_per_sec\": {:.0}, \"speedup_vs_baseline\": {:.3}}},\n",
+                b32.cycles,
+                b32_route_s,
+                after_rate,
+                file,
+                before_rate,
+                after_rate / before_rate.max(1e-9),
+            )
+        }
+        None => {
+            println!(
+                "\nroute-phase comparison (B=32): {after_rate:.0} route cycles/sec \
+                 (no committed SCALING baseline found)"
+            );
+            format!(
+                "  \"route_comparison\": {{\"boards\": 32, \"cycles\": {}, \"route_s\": {:.6}, \"route_cycles_per_sec\": {:.0}, \"baseline_file\": null}},\n",
+                b32.cycles, b32_route_s, after_rate,
+            )
+        }
+    };
+
     // Per-B intra-point yield: the board-sharded engine against the
     // sequential one, same point, identical results asserted. Worker
     // count: the ERAPID_POINT_THREADS knob when set above 1, else up to 4
@@ -301,7 +399,8 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"git_sha\": \"{sha}\",\n  \"threads\": {threads},\n  \"point_threads\": {point_threads},\n  \"hw_threads\": {hw_threads},\n  \"workload\": {{\"nodes_per_board\": 8, \"boards\": [4, 8, 16, 32], \"load\": {LOAD}, \"patterns\": [\"complement\", \"uniform\"], \"modes\": [\"NP-NB\", \"P-B\"]}},\n  \"rows\": [\n{rows}\n  ],\n  \"phase_profiles\": [\n{profs}\n  ],\n  \"sharded_speedups\": [\n{speedups}\n  ],\n  \"peak_rss_kb\": {rss}\n}}\n",
+        "{{\n  \"git_sha\": \"{sha}\",\n  \"threads\": {threads},\n  \"point_threads\": {point_threads},\n  \"hw_threads\": {hw_threads},\n  \"workload\": {{\"nodes_per_board\": 8, \"boards\": [4, 8, 16, 32], \"load\": {LOAD}, \"patterns\": [\"complement\", \"uniform\"], \"modes\": [\"NP-NB\", \"P-B\"]}},\n  \"rows\": [\n{rows}\n  ],\n  \"phase_profiles\": [\n{profs}\n  ],\n  \"sharded_speedups\": [\n{speedups}\n  ],\n{route_cmp}  \"peak_rss_kb\": {rss}\n}}\n",
+        route_cmp = route_cmp_json,
         threads = bench.threads,
         point_threads = bench.point_threads,
         hw_threads = available_threads(),

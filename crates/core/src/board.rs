@@ -14,6 +14,12 @@
 //! cycle after traversal); TX ports' credits return when the packet departs
 //! optically — every flit of a packet rides one output VC, so the departing
 //! packet returns exactly `flits` credits to that VC.
+//!
+//! `Board::step_into` is the per-cycle hot path of the whole simulator —
+//! dominated by `Router::step_into`, whose VA/SA arbitration runs on
+//! packed `u64` bitset words over requester ids `in_port · V + in_vc`
+//! (DESIGN.md §16). The board's `D + B` output ports and `D + W` input
+//! ports set those bitset widths.
 
 use crate::config::SystemConfig;
 use crate::inject::FlitInjector;

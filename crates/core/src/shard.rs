@@ -3,8 +3,9 @@
 //! Within one cycle, boards never touch each other directly: all
 //! cross-board traffic flows through the SRS arrival/wake heaps, the
 //! shared run metrics and the power cache — none of which the per-board
-//! hot path (router step + lane transmit) needs to *read*. That makes the
-//! cycle's dominant cost embarrassingly parallel under a two-phase split:
+//! hot path (the bitset-wavefront router step, DESIGN.md §16, plus lane
+//! transmit) needs to *read*. That makes the cycle's dominant cost
+//! embarrassingly parallel under a two-phase split:
 //!
 //! * **compute** — each worker claims whole boards and, per board `b`,
 //!   runs `Board::step_into` plus the transmit scan over SRS lane `b`

@@ -4,6 +4,31 @@
 //! arbitration among requesters. Round-robin is the classic cheap choice;
 //! the matrix arbiter provides strict least-recently-served fairness
 //! (Dally & Towles §18).
+//!
+//! Each arbiter exists in two forms sharing one priority state:
+//!
+//! * a **word-parallel** path ([`RoundRobinArbiter::arbitrate_words`],
+//!   [`MatrixArbiter::arbitrate_words`]) over packed `u64` request words
+//!   (see [`crate::words`]) — the router's hot path, scanning 64
+//!   requesters per machine word with mask-rotate + `trailing_zeros`;
+//! * a **slice oracle** ([`Arbiter::arbitrate`] on [`RoundRobinArbiter`],
+//!   and [`SliceMatrixArbiter`]) — the original scan-from-pointer
+//!   implementations, kept verbatim as executable specifications. The
+//!   property suite (`tests/arbiter_props.rs`) drives both forms through
+//!   randomized request sets and grant histories and asserts
+//!   position-identical winners at every step.
+//!
+//! **Why masked `trailing_zeros` == scan-from-pointer.** The oracle visits
+//! positions `next, next+1, …, n-1, 0, …, next-1` and grants the first
+//! requester. The word path partitions that same cyclic sequence into (a)
+//! the word holding `next` masked to bits `>= next`, (b) the higher words
+//! in order, (c) the lower words in order, (d) the `next` word masked to
+//! bits `< next` — each segment scanned by `trailing_zeros`, i.e. lowest
+//! index first, which within a segment coincides with cyclic order. The
+//! first non-empty segment therefore yields exactly the oracle's winner,
+//! provided no bit `>= n` is ever set (the callers' invariant).
+
+use crate::words;
 
 /// A single-winner arbiter over `n` requesters.
 pub trait Arbiter {
@@ -33,6 +58,38 @@ impl RoundRobinArbiter {
         Self { n, next: 0 }
     }
 
+    /// Word-parallel arbitration over packed request words
+    /// (`words.len() == ceil(n / 64)`, no bit `>= n` set). Winner and
+    /// rotor update are position-identical to [`Arbiter::arbitrate`] on
+    /// the unpacked slice — see the module docs for the argument.
+    #[inline]
+    pub fn arbitrate_words(&mut self, reqs: &[u64]) -> Option<usize> {
+        debug_assert_eq!(reqs.len(), words::words_for(self.n));
+        let sw = self.next / 64;
+        let sb = (self.next % 64) as u32;
+        // Segment (a): the rotor's word, bits >= next.
+        let head = reqs[sw] & (u64::MAX << sb);
+        let idx = if head != 0 {
+            sw * 64 + head.trailing_zeros() as usize
+        } else if let Some(wi) = (sw + 1..reqs.len()).find(|&wi| reqs[wi] != 0) {
+            // Segment (b): higher words.
+            wi * 64 + reqs[wi].trailing_zeros() as usize
+        } else if let Some(wi) = (0..sw).find(|&wi| reqs[wi] != 0) {
+            // Segment (c): wrapped lower words.
+            wi * 64 + reqs[wi].trailing_zeros() as usize
+        } else {
+            // Segment (d): the rotor's word, bits < next.
+            let tail = reqs[sw] & !(u64::MAX << sb);
+            if tail == 0 {
+                return None;
+            }
+            sw * 64 + tail.trailing_zeros() as usize
+        };
+        debug_assert!(idx < self.n, "request bit {idx} beyond arbiter width");
+        self.next = (idx + 1) % self.n;
+        Some(idx)
+    }
+
     /// Serializes the rotor position (`n` is config-derived).
     pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
         w.usize(self.next);
@@ -60,6 +117,8 @@ impl Arbiter for RoundRobinArbiter {
         self.n
     }
 
+    /// The slice oracle: linear scan from the rotor. Retained as the
+    /// executable specification for [`RoundRobinArbiter::arbitrate_words`].
     fn arbitrate(&mut self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.n);
         for i in 0..self.n {
@@ -74,14 +133,98 @@ impl Arbiter for RoundRobinArbiter {
 }
 
 /// Matrix arbiter: grants the requester that least recently won.
+///
+/// The priority matrix is packed row-major into `u64` words: bit `j` of
+/// row `i` set means `i` beats `j`. A requester wins when no other
+/// requester beats it, checked one word (64 opponents) at a time.
 #[derive(Debug, Clone)]
 pub struct MatrixArbiter {
+    n: usize,
+    /// Words per row (= `ceil(n / 64)`).
+    row_words: usize,
+    /// `prio[i · row_words + w]` — opponents `i` beats, row-major packed.
+    prio: Vec<u64>,
+}
+
+impl MatrixArbiter {
+    /// Creates an arbiter over `n` requesters; initial priority is by index.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let row_words = words::words_for(n);
+        let mut prio = vec![0u64; n * row_words];
+        for i in 0..n {
+            let row = &mut prio[i * row_words..(i + 1) * row_words];
+            for j in i + 1..n {
+                words::set(row, j);
+            }
+        }
+        Self { n, row_words, prio }
+    }
+
+    /// Number of requesters.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never true after construction.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Word-parallel arbitration over packed request words
+    /// (`reqs.len() == ceil(n / 64)`, no bit `>= n` set). Winner and
+    /// priority update are identical to [`SliceMatrixArbiter`]: requester
+    /// `i` wins iff it requests and every other requester `j` has
+    /// `prio[i][j]` — i.e. `reqs & !row_i ⊆ {i}`, one word at a time.
+    pub fn arbitrate_words(&mut self, reqs: &[u64]) -> Option<usize> {
+        debug_assert_eq!(reqs.len(), self.row_words);
+        let mut winner = None;
+        'candidates: for (wi, &w) in reqs.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let i = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                debug_assert!(i < self.n, "request bit {i} beyond arbiter width");
+                let row = &self.prio[i * self.row_words..(i + 1) * self.row_words];
+                let unbeaten = (0..self.row_words).all(|rw| {
+                    let mut conflict = reqs[rw] & !row[rw];
+                    if rw == wi {
+                        conflict &= !(1u64 << (i % 64));
+                    }
+                    conflict == 0
+                });
+                if unbeaten {
+                    winner = Some(i);
+                    break 'candidates;
+                }
+            }
+        }
+        let i = winner?;
+        // Winner drops below everyone else: its row clears, and every
+        // other row gains the winner's column bit.
+        for w in &mut self.prio[i * self.row_words..(i + 1) * self.row_words] {
+            *w = 0;
+        }
+        let (col_word, col_bit) = (i / 64, 1u64 << (i % 64));
+        for j in 0..self.n {
+            if j != i {
+                self.prio[j * self.row_words + col_word] |= col_bit;
+            }
+        }
+        Some(i)
+    }
+}
+
+/// The original boolean-matrix arbiter, retained verbatim as the test
+/// oracle for [`MatrixArbiter`].
+#[derive(Debug, Clone)]
+pub struct SliceMatrixArbiter {
     n: usize,
     /// `prio[i][j]` — true if `i` beats `j`.
     prio: Vec<Vec<bool>>,
 }
 
-impl MatrixArbiter {
+impl SliceMatrixArbiter {
     /// Creates an arbiter over `n` requesters; initial priority is by index.
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
@@ -90,7 +233,7 @@ impl MatrixArbiter {
     }
 }
 
-impl Arbiter for MatrixArbiter {
+impl Arbiter for SliceMatrixArbiter {
     fn len(&self) -> usize {
         self.n
     }
@@ -114,6 +257,7 @@ impl Arbiter for MatrixArbiter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::words::pack;
 
     #[test]
     fn round_robin_rotates() {
@@ -128,6 +272,16 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_words_rotate() {
+        let mut a = RoundRobinArbiter::new(3);
+        let all = pack(&[true, true, true]);
+        assert_eq!(a.arbitrate_words(&all), Some(0));
+        assert_eq!(a.arbitrate_words(&all), Some(1));
+        assert_eq!(a.arbitrate_words(&all), Some(2));
+        assert_eq!(a.arbitrate_words(&all), Some(0));
+    }
+
+    #[test]
     fn round_robin_skips_idle() {
         let mut a = RoundRobinArbiter::new(4);
         assert_eq!(a.arbitrate(&[false, false, true, false]), Some(2));
@@ -136,33 +290,62 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_words_wrap_across_word_boundaries() {
+        // 130 requesters: three words. Park the rotor at 129 (last bit),
+        // then request only bit 1 — the wrapped scan must find it.
+        let mut a = RoundRobinArbiter::new(130);
+        let mut reqs = vec![0u64; 3];
+        crate::words::set(&mut reqs, 128);
+        assert_eq!(a.arbitrate_words(&reqs), Some(128));
+        crate::words::set(&mut reqs, 129);
+        crate::words::clear(&mut reqs, 128);
+        assert_eq!(a.arbitrate_words(&reqs), Some(129));
+        // Rotor is now 0 (wrapped).
+        crate::words::clear(&mut reqs, 129);
+        crate::words::set(&mut reqs, 1);
+        assert_eq!(a.arbitrate_words(&reqs), Some(1));
+        // Rotor 2; a bit below it wraps the whole way round.
+        crate::words::clear(&mut reqs, 1);
+        crate::words::set(&mut reqs, 0);
+        assert_eq!(a.arbitrate_words(&reqs), Some(0));
+    }
+
+    #[test]
     fn no_requests_no_winner() {
         let mut a = RoundRobinArbiter::new(2);
         assert_eq!(a.arbitrate(&[false, false]), None);
+        assert_eq!(a.arbitrate_words(&[0]), None);
         let mut m = MatrixArbiter::new(2);
-        assert_eq!(m.arbitrate(&[false, false]), None);
+        assert_eq!(m.arbitrate_words(&[0]), None);
+        let mut s = SliceMatrixArbiter::new(2);
+        assert_eq!(s.arbitrate(&[false, false]), None);
     }
 
     #[test]
     fn matrix_is_least_recently_served() {
         let mut a = MatrixArbiter::new(3);
-        let all = [true, true, true];
-        let w1 = a.arbitrate(&all).unwrap();
-        let w2 = a.arbitrate(&all).unwrap();
-        let w3 = a.arbitrate(&all).unwrap();
+        let all = pack(&[true, true, true]);
+        let w1 = a.arbitrate_words(&all).unwrap();
+        let w2 = a.arbitrate_words(&all).unwrap();
+        let w3 = a.arbitrate_words(&all).unwrap();
         // All three get served once before anyone repeats.
         let mut ws = vec![w1, w2, w3];
         ws.sort_unstable();
         assert_eq!(ws, vec![0, 1, 2]);
         // The first winner is now the least recent again after the others.
-        assert_eq!(a.arbitrate(&all), Some(w1));
+        assert_eq!(a.arbitrate_words(&all), Some(w1));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
     }
 
     #[test]
     fn matrix_sole_requester_wins() {
         let mut a = MatrixArbiter::new(4);
-        a.arbitrate(&[true, true, true, true]);
-        assert_eq!(a.arbitrate(&[false, false, false, true]), Some(3));
+        a.arbitrate_words(&pack(&[true, true, true, true]));
+        assert_eq!(
+            a.arbitrate_words(&pack(&[false, false, false, true])),
+            Some(3)
+        );
     }
 
     #[test]
@@ -172,10 +355,10 @@ mod tests {
         let mut mx = MatrixArbiter::new(4);
         let mut rr_counts = [0u32; 4];
         let mut mx_counts = [0u32; 4];
-        let all = [true; 4];
+        let all = pack(&[true; 4]);
         for _ in 0..400 {
-            rr_counts[rr.arbitrate(&all).unwrap()] += 1;
-            mx_counts[mx.arbitrate(&all).unwrap()] += 1;
+            rr_counts[rr.arbitrate_words(&all).unwrap()] += 1;
+            mx_counts[mx.arbitrate_words(&all).unwrap()] += 1;
         }
         assert!(rr_counts.iter().all(|&c| c == 100), "{rr_counts:?}");
         assert!(mx_counts.iter().all(|&c| c == 100), "{mx_counts:?}");

@@ -4,8 +4,13 @@
 //! structural hazard — at most one input drives each output and each input
 //! drives at most one output per cycle. Switch allocation (SA) decides the
 //! winners; the crossbar double-checks them.
+//!
+//! Port occupancy is tracked as packed `u64` busy masks ([`crate::words`]),
+//! matching the router's bitset hot path: the hazard check is one bit test
+//! and [`Crossbar::connections`] is a popcount instead of an O(ports) scan.
 
 use crate::routing::PortId;
+use crate::words;
 
 /// One cycle's crossbar schedule.
 #[derive(Debug, Clone)]
@@ -16,6 +21,10 @@ pub struct Crossbar {
     out_for_in: Vec<Option<PortId>>,
     /// `in_for_out[o]` — the input driving output `o` this cycle.
     in_for_out: Vec<Option<PortId>>,
+    /// Inputs connected this cycle, one bit per port.
+    in_busy: Vec<u64>,
+    /// Outputs driven this cycle, one bit per port.
+    out_busy: Vec<u64>,
 }
 
 impl Crossbar {
@@ -27,6 +36,8 @@ impl Crossbar {
             outputs,
             out_for_in: vec![None; inputs],
             in_for_out: vec![None; outputs],
+            in_busy: vec![0; words::words_for(inputs)],
+            out_busy: vec![0; words::words_for(outputs)],
         }
     }
 
@@ -47,13 +58,15 @@ impl Crossbar {
     /// never double-grant.
     pub fn connect(&mut self, i: PortId, o: PortId) {
         assert!(
-            self.out_for_in[i.index()].is_none(),
+            !words::test(&self.in_busy, i.index()),
             "input {i} already connected this cycle"
         );
         assert!(
-            self.in_for_out[o.index()].is_none(),
+            !words::test(&self.out_busy, o.index()),
             "output {o} already driven this cycle"
         );
+        words::set(&mut self.in_busy, i.index());
+        words::set(&mut self.out_busy, o.index());
         self.out_for_in[i.index()] = Some(o);
         self.in_for_out[o.index()] = Some(i);
     }
@@ -70,13 +83,15 @@ impl Crossbar {
 
     /// Connections made this cycle.
     pub fn connections(&self) -> usize {
-        self.out_for_in.iter().flatten().count()
+        words::count(&self.out_busy) as usize
     }
 
     /// Clears the schedule for the next cycle.
     pub fn clear(&mut self) {
         self.out_for_in.iter_mut().for_each(|x| *x = None);
         self.in_for_out.iter_mut().for_each(|x| *x = None);
+        self.in_busy.iter_mut().for_each(|w| *w = 0);
+        self.out_busy.iter_mut().for_each(|w| *w = 0);
     }
 }
 
@@ -128,5 +143,15 @@ mod tests {
         let mut x = Crossbar::new(2, 5);
         x.connect(PortId(1), PortId(4));
         assert_eq!(x.input_of(PortId(4)), Some(PortId(1)));
+    }
+
+    #[test]
+    fn busy_masks_span_word_boundaries() {
+        let mut x = Crossbar::new(130, 130);
+        for p in [0u16, 63, 64, 129] {
+            x.connect(PortId(p), PortId(129 - p));
+        }
+        assert_eq!(x.connections(), 4);
+        assert_eq!(x.output_of(PortId(129)), Some(PortId(0)));
     }
 }

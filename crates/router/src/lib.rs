@@ -18,6 +18,7 @@
 //! * [`vc`] — per-input virtual-channel state machines,
 //! * [`routing`] — output-port lookup functions,
 //! * [`crossbar`] — the switch fabric (conflict checking),
+//! * [`words`] — packed `u64` bitset words for the arbitration hot path,
 //! * [`router`] — the assembled router with its per-cycle `step`.
 
 //!
@@ -51,6 +52,7 @@ pub mod packet;
 pub mod router;
 pub mod routing;
 pub mod vc;
+pub mod words;
 
 pub use flit::{Flit, FlitKind, NodeId, PacketId};
 pub use inject::FlitInjector;

@@ -19,12 +19,25 @@
 //! The environment owns the links: it delivers traversals (plus any channel
 //! delay), returns credits with [`Router::credit`], and injects flits with
 //! [`Router::inject`] after checking [`Router::can_accept`].
+//!
+//! ## Hot-path layout (DESIGN.md §16)
+//!
+//! Per-VC pipeline state lives in a flat struct-of-arrays [`VcArena`]
+//! indexed by requester id `r = in_port · V + in_vc`, and every candidate
+//! set the stages walk — RC-pending VCs, per-output-port VA waiters and SA
+//! actives — is a packed `u64` bitset over those ids ([`crate::words`]),
+//! iterated with `trailing_zeros`. Bitset iteration is inherently
+//! ascending, which is the same canonical `(port asc, vc asc)` order the
+//! original slice scans used, so grants, stalls and traversal order are
+//! byte-identical to the pre-bitset router. Per-output-port `u64` masks
+//! (`va_ports`/`sa_ports`) let VA/SA skip 64 idle ports per word.
 
-use crate::arbiter::{Arbiter, RoundRobinArbiter};
+use crate::arbiter::RoundRobinArbiter;
 use crate::credit::CreditCounter;
 use crate::flit::Flit;
 use crate::routing::{PortId, RouteFunction};
-use crate::vc::{InputVc, VcState};
+use crate::vc::{VcArena, VcState, VcTag};
+use crate::words;
 use desim::Cycle;
 
 /// Static configuration of a router.
@@ -86,11 +99,14 @@ pub struct RouterStats {
 /// The router proper.
 pub struct Router {
     cfg: RouterConfig,
-    inputs: Vec<Vec<InputVc>>,
-    /// Owner of each (output port, output VC): (in_port, in_vc).
-    out_vc_owner: Vec<Vec<Option<(u16, u8)>>>,
-    /// Credits toward downstream per (output port, output VC).
-    out_credits: Vec<Vec<CreditCounter>>,
+    /// Words per requester bitset (= `ceil(in_ports · vcs / 64)`).
+    req_words: usize,
+    /// All input VC state, flat SoA indexed by `r = in_port · V + in_vc`.
+    arena: VcArena,
+    /// Owner of each (output port, output VC), flat `out · V + out_vc`.
+    out_vc_owner: Vec<Option<(u16, u8)>>,
+    /// Credits toward downstream, flat `out · V + out_vc`.
+    out_credits: Vec<CreditCounter>,
     /// Route function.
     route: Box<dyn RouteFunction + Send>,
     /// Per-output-port SA arbiter over (in_port × in_vc) requesters.
@@ -102,26 +118,25 @@ pub struct Router {
     buffered: u64,
     /// High-water mark of `buffered` since the last telemetry roll.
     buffered_peak: u64,
-    /// VA scratch: free output VCs at the port under arbitration. Persistent
-    /// so the per-cycle pipeline allocates nothing in steady state.
-    va_free: Vec<usize>,
-    /// VA scratch: request bitmap over (in_port × in_vc).
-    va_requests: Vec<bool>,
-    /// SA scratch: request bitmap over (in_port × in_vc).
-    sa_requests: Vec<bool>,
-    /// SA scratch: input ports already matched this cycle.
-    sa_input_used: Vec<bool>,
-    /// Input VCs in `WaitingVc{out}` per output port (requester indices
-    /// `p·V + v`, unordered — they only seed the arbitration bitmap, whose
-    /// bits are position-addressed). The VA stage visits only ports with a
-    /// non-empty list instead of scanning every input VC per output port.
-    va_waiting: Vec<Vec<u16>>,
-    /// Input VCs in `Active{out, ..}` per output port — the SA stage's
-    /// candidate set (same representation as `va_waiting`).
-    sa_active: Vec<Vec<u16>>,
-    /// Input VCs with RC work pending (`Idle` with a buffered head, or
-    /// `Routing`). Zero lets `step` skip the RC scan entirely.
-    rc_candidates: u32,
+    /// VCs in `WaitingVc{out}` per output port: `req_words` words per port,
+    /// bit `r` set ⟺ VC `r` waits for an output VC at that port. These
+    /// words *are* the VA arbiter's request input — no separate bitmap is
+    /// seeded and wiped.
+    va_waiting: Vec<u64>,
+    /// VCs in `Active{out, ..}` per output port (same layout) — the SA
+    /// stage's candidate set.
+    sa_active: Vec<u64>,
+    /// Output ports with any `va_waiting` bit set (one bit per port).
+    va_ports: Vec<u64>,
+    /// Output ports with any `sa_active` bit set (one bit per port).
+    sa_ports: Vec<u64>,
+    /// VCs with RC work pending: bit `r` set ⟺ `Idle` with a buffered
+    /// head, or `Routing`. All-zero lets `step` skip the RC pass.
+    rc_pending: Vec<u64>,
+    /// SA scratch: request words over (in_port × in_vc), rebuilt per port.
+    sa_requests: Vec<u64>,
+    /// SA scratch: input ports already matched this cycle (one bit each).
+    sa_input_used: Vec<u64>,
 }
 
 impl Router {
@@ -129,20 +144,16 @@ impl Router {
     pub fn new(cfg: RouterConfig, route: Box<dyn RouteFunction + Send>) -> Self {
         assert!(cfg.in_ports > 0 && cfg.out_ports > 0 && cfg.vcs > 0);
         let requesters = cfg.in_ports as usize * cfg.vcs as usize;
+        let out_vcs = cfg.out_ports as usize * cfg.vcs as usize;
+        let req_words = words::words_for(requesters);
+        let port_words = words::words_for(cfg.out_ports as usize);
         Self {
             cfg,
-            inputs: (0..cfg.in_ports)
-                .map(|_| (0..cfg.vcs).map(|_| InputVc::new(cfg.buf_depth)).collect())
-                .collect(),
-            out_vc_owner: (0..cfg.out_ports)
-                .map(|_| vec![None; cfg.vcs as usize])
-                .collect(),
-            out_credits: (0..cfg.out_ports)
-                .map(|_| {
-                    (0..cfg.vcs)
-                        .map(|_| CreditCounter::new(cfg.downstream_depth))
-                        .collect()
-                })
+            req_words,
+            arena: VcArena::new(requesters, cfg.buf_depth),
+            out_vc_owner: vec![None; out_vcs],
+            out_credits: (0..out_vcs)
+                .map(|_| CreditCounter::new(cfg.downstream_depth))
                 .collect(),
             route,
             sa_arbiters: (0..cfg.out_ports)
@@ -154,13 +165,13 @@ impl Router {
             stats: RouterStats::default(),
             buffered: 0,
             buffered_peak: 0,
-            va_free: Vec::with_capacity(cfg.vcs as usize),
-            va_requests: vec![false; requesters],
-            sa_requests: vec![false; requesters],
-            sa_input_used: vec![false; cfg.in_ports as usize],
-            va_waiting: vec![Vec::new(); cfg.out_ports as usize],
-            sa_active: vec![Vec::new(); cfg.out_ports as usize],
-            rc_candidates: 0,
+            va_waiting: vec![0; cfg.out_ports as usize * req_words],
+            sa_active: vec![0; cfg.out_ports as usize * req_words],
+            va_ports: vec![0; port_words],
+            sa_ports: vec![0; port_words],
+            rc_pending: vec![0; req_words],
+            sa_requests: vec![0; req_words],
+            sa_input_used: vec![0; words::words_for(cfg.in_ports as usize)],
         }
     }
 
@@ -176,7 +187,9 @@ impl Router {
     /// # Panics
     /// If any credit of that port has already been consumed.
     pub fn set_downstream_depth(&mut self, port: PortId, depth: u32) {
-        for c in &mut self.out_credits[port.index()] {
+        let vcs = self.cfg.vcs as usize;
+        let base = port.index() * vcs;
+        for c in &mut self.out_credits[base..base + vcs] {
             assert_eq!(
                 c.available(),
                 c.max(),
@@ -191,25 +204,41 @@ impl Router {
         self.stats
     }
 
+    /// Requester id of input `(port, vc)`.
+    #[inline]
+    fn rid(&self, port: PortId, vc: u8) -> usize {
+        port.index() * self.cfg.vcs as usize + vc as usize
+    }
+
     /// True when input `(port, vc)` has buffer space.
     pub fn can_accept(&self, port: PortId, vc: u8) -> bool {
-        self.inputs[port.index()][vc as usize].can_accept()
+        !self.arena.buffers[self.rid(port, vc)].is_full()
     }
 
     /// Free buffer slots at input `(port, vc)`.
     pub fn input_space(&self, port: PortId, vc: u8) -> usize {
-        self.inputs[port.index()][vc as usize].buffer.space()
+        self.arena.buffers[self.rid(port, vc)].space()
     }
 
     /// Occupancy fraction of input `(port, vc)`.
     pub fn input_occupancy(&self, port: PortId, vc: u8) -> f64 {
-        self.inputs[port.index()][vc as usize].buffer.occupancy()
+        self.arena.buffers[self.rid(port, vc)].occupancy()
     }
 
     /// Mean occupancy across all VCs of an input port.
     pub fn port_occupancy(&self, port: PortId) -> f64 {
-        let vcs = &self.inputs[port.index()];
-        vcs.iter().map(|vc| vc.buffer.occupancy()).sum::<f64>() / vcs.len() as f64
+        let vcs = self.cfg.vcs as usize;
+        let base = port.index() * vcs;
+        self.arena.buffers[base..base + vcs]
+            .iter()
+            .map(|b| b.occupancy())
+            .sum::<f64>()
+            / vcs as f64
+    }
+
+    /// Owner of output VC `(out_port, out_vc)`, as `(in_port, in_vc)`.
+    pub fn output_owner(&self, out_port: PortId, out_vc: u8) -> Option<(u16, u8)> {
+        self.out_vc_owner[out_port.index() * self.cfg.vcs as usize + out_vc as usize]
     }
 
     /// Injects a flit into input `(port, vc)`.
@@ -217,11 +246,11 @@ impl Router {
     /// # Panics
     /// If the buffer is full (callers must check [`Router::can_accept`]).
     pub fn inject(&mut self, port: PortId, vc: u8, flit: Flit) {
-        let ivc = &mut self.inputs[port.index()][vc as usize];
-        ivc.buffer.push(flit);
+        let r = self.rid(port, vc);
+        self.arena.buffers[r].push(flit);
         // A head landing in an empty idle VC arms RC for the next cycle.
-        if ivc.state == VcState::Idle && ivc.buffer.len() == 1 {
-            self.rc_candidates += 1;
+        if self.arena.tag[r] == VcTag::Idle && self.arena.buffers[r].len() == 1 {
+            words::set(&mut self.rc_pending, r);
         }
         self.stats.injected += 1;
         self.buffered += 1;
@@ -233,12 +262,12 @@ impl Router {
     /// Returns one credit for `(out_port, out_vc)` — the downstream consumer
     /// freed a slot.
     pub fn credit(&mut self, out_port: PortId, out_vc: u8) {
-        self.out_credits[out_port.index()][out_vc as usize].restore();
+        self.out_credits[out_port.index() * self.cfg.vcs as usize + out_vc as usize].restore();
     }
 
     /// Credits available toward `(out_port, out_vc)`.
     pub fn credits_available(&self, out_port: PortId, out_vc: u8) -> u32 {
-        self.out_credits[out_port.index()][out_vc as usize].available()
+        self.out_credits[out_port.index() * self.cfg.vcs as usize + out_vc as usize].available()
     }
 
     /// Flits currently buffered in the router's input VCs.
@@ -263,59 +292,55 @@ impl Router {
     }
 
     /// Coarse heap-footprint estimate in bytes: the per-(port × VC) state
-    /// that dominates the router's memory — input VC buffers, output-VC
-    /// owner/credit tables, arbiters and request bitmaps. An analytic
-    /// capacity × element-size sum (not an allocator probe), comparable
-    /// across configurations: the scaling bench uses it to track how the
+    /// that dominates the router's memory — the SoA VC arena (tags, routed
+    /// ports, timers, flit buffers), output-VC owner/credit tables,
+    /// arbiters and the packed bitset words. An analytic capacity ×
+    /// element-size sum (not an allocator probe), comparable across
+    /// configurations: the scaling bench uses it to track how the
     /// electrical domain's footprint grows with the board count.
     pub fn approx_memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        let per_vc = size_of::<InputVc>() + self.cfg.buf_depth * size_of::<Flit>();
-        let in_vcs = self.cfg.in_ports as usize * self.cfg.vcs as usize;
-        let out_vcs = self.cfg.out_ports as usize * self.cfg.vcs as usize;
+        let word_vecs = self.va_waiting.capacity()
+            + self.sa_active.capacity()
+            + self.va_ports.capacity()
+            + self.sa_ports.capacity()
+            + self.rc_pending.capacity()
+            + self.sa_requests.capacity()
+            + self.sa_input_used.capacity();
         size_of::<Self>()
-            + in_vcs * per_vc
-            + out_vcs * (size_of::<Option<(u16, u8)>>() + size_of::<CreditCounter>())
+            + self.arena.approx_memory_bytes()
+            + self.out_vc_owner.capacity() * size_of::<Option<(u16, u8)>>()
+            + self.out_credits.capacity() * size_of::<CreditCounter>()
             + (self.sa_arbiters.capacity() + self.va_arbiters.capacity())
                 * size_of::<RoundRobinArbiter>()
-            + self.va_requests.capacity()
-            + self.sa_requests.capacity()
-            + self.sa_input_used.capacity()
-            + (self.va_waiting.iter().map(Vec::capacity).sum::<usize>()
-                + self.sa_active.iter().map(Vec::capacity).sum::<usize>())
-                * size_of::<u16>()
-            + (self.va_waiting.capacity() + self.sa_active.capacity()) * size_of::<Vec<u16>>()
+            + word_vecs * size_of::<u64>()
     }
 
     /// Serializes the router's mutable state for a checkpoint.
     ///
     /// Only pipeline state is written: input VC buffers and states, output
     /// VC ownership and credits, arbiter rotors, stats and occupancy
-    /// counters. The derived per-port candidate lists (`va_waiting`,
-    /// `sa_active`, `rc_candidates`) are *not* persisted — they are exact
-    /// functions of the VC states and are rebuilt on restore; their order
-    /// only seeds position-addressed arbitration bitmaps, so the canonical
-    /// rebuild is behaviourally identical to the live lists.
+    /// counters. The derived bitset words (`va_waiting`, `sa_active`, the
+    /// port masks and `rc_pending`) are *not* persisted — they are exact
+    /// functions of the VC states and are rebuilt on restore; a bitset is
+    /// canonically ordered by construction, so the rebuild is behaviourally
+    /// identical to the live words. The byte format is unchanged from the
+    /// pre-arena router: VC states serialize through the [`VcState`] enum
+    /// bridge.
     pub fn save_state(&self, w: &mut desim::snap::SnapWriter) {
         use desim::snap::Snap;
         w.tag(b"RTRS");
-        w.usize(self.inputs.len());
-        for port in &self.inputs {
-            for ivc in port {
-                ivc.buffer.save_state(w);
-                ivc.state.save(w);
-            }
+        w.usize(self.cfg.in_ports as usize);
+        for r in 0..self.arena.len() {
+            self.arena.buffers[r].save_state(w);
+            self.arena.state(r).save(w);
         }
-        w.usize(self.out_vc_owner.len());
-        for port in &self.out_vc_owner {
-            for owner in port {
-                owner.save(w);
-            }
+        w.usize(self.cfg.out_ports as usize);
+        for owner in &self.out_vc_owner {
+            owner.save(w);
         }
-        for port in &self.out_credits {
-            for c in port {
-                c.save_state(w);
-            }
+        for c in &self.out_credits {
+            c.save_state(w);
         }
         for a in &self.sa_arbiters {
             a.save_state(w);
@@ -332,30 +357,25 @@ impl Router {
     }
 
     /// Overlays checkpointed state onto a freshly built router of the same
-    /// configuration, then rebuilds the derived candidate lists.
+    /// configuration, then rebuilds the derived bitset words.
     pub fn load_state(
         &mut self,
         r: &mut desim::snap::SnapReader<'_>,
     ) -> Result<(), desim::snap::SnapError> {
         use desim::snap::Snap;
         r.tag(b"RTRS")?;
-        r.len_eq(self.inputs.len(), "router input ports")?;
-        for port in &mut self.inputs {
-            for ivc in port {
-                ivc.buffer.load_state(r)?;
-                ivc.state = VcState::load(r)?;
-            }
+        r.len_eq(self.cfg.in_ports as usize, "router input ports")?;
+        for i in 0..self.arena.len() {
+            self.arena.buffers[i].load_state(r)?;
+            let s = VcState::load(r)?;
+            self.arena.set_state(i, s);
         }
-        r.len_eq(self.out_vc_owner.len(), "router output ports")?;
-        for port in &mut self.out_vc_owner {
-            for owner in port.iter_mut() {
-                *owner = Option::<(u16, u8)>::load(r)?;
-            }
+        r.len_eq(self.cfg.out_ports as usize, "router output ports")?;
+        for owner in &mut self.out_vc_owner {
+            *owner = Option::<(u16, u8)>::load(r)?;
         }
-        for port in &mut self.out_credits {
-            for c in port {
-                c.load_state(r)?;
-            }
+        for c in &mut self.out_credits {
+            c.load_state(r)?;
         }
         for a in &mut self.sa_arbiters {
             a.load_state(r)?;
@@ -374,45 +394,81 @@ impl Router {
         self.rebuild_derived()
     }
 
-    /// Recomputes `va_waiting`, `sa_active` and `rc_candidates` from the VC
-    /// states, in canonical port-ascending/VC-ascending order.
+    /// Adds VC `r` to the VA waiting set of output port `out`.
+    #[inline]
+    fn add_waiting(&mut self, out: usize, r: usize) {
+        let base = out * self.req_words;
+        words::set(&mut self.va_waiting[base..base + self.req_words], r);
+        words::set(&mut self.va_ports, out);
+    }
+
+    /// Removes VC `r` from the VA waiting set, clearing the port mask bit
+    /// when the set empties.
+    #[inline]
+    fn remove_waiting(&mut self, out: usize, r: usize) {
+        let base = out * self.req_words;
+        let set = &mut self.va_waiting[base..base + self.req_words];
+        words::clear(set, r);
+        if !words::any(set) {
+            words::clear(&mut self.va_ports, out);
+        }
+    }
+
+    /// Adds VC `r` to the SA active set of output port `out`.
+    #[inline]
+    fn add_active(&mut self, out: usize, r: usize) {
+        let base = out * self.req_words;
+        words::set(&mut self.sa_active[base..base + self.req_words], r);
+        words::set(&mut self.sa_ports, out);
+    }
+
+    /// Removes VC `r` from the SA active set, clearing the port mask bit
+    /// when the set empties.
+    #[inline]
+    fn remove_active(&mut self, out: usize, r: usize) {
+        let base = out * self.req_words;
+        let set = &mut self.sa_active[base..base + self.req_words];
+        words::clear(set, r);
+        if !words::any(set) {
+            words::clear(&mut self.sa_ports, out);
+        }
+    }
+
+    /// Recomputes the derived bitset words (`va_waiting`, `sa_active`, the
+    /// port masks, `rc_pending`) from the VC states, in canonical
+    /// port-ascending/VC-ascending order.
     fn rebuild_derived(&mut self) -> Result<(), desim::snap::SnapError> {
-        for list in &mut self.va_waiting {
-            list.clear();
-        }
-        for list in &mut self.sa_active {
-            list.clear();
-        }
-        self.rc_candidates = 0;
-        let vcs = self.cfg.vcs as u16;
-        for (p, port) in self.inputs.iter().enumerate() {
-            for (v, ivc) in port.iter().enumerate() {
-                let requester = p as u16 * vcs + v as u16;
-                match ivc.state {
-                    VcState::Idle => {
-                        if !ivc.buffer.is_empty() {
-                            self.rc_candidates += 1;
-                        }
+        self.va_waiting.iter_mut().for_each(|w| *w = 0);
+        self.sa_active.iter_mut().for_each(|w| *w = 0);
+        self.va_ports.iter_mut().for_each(|w| *w = 0);
+        self.sa_ports.iter_mut().for_each(|w| *w = 0);
+        self.rc_pending.iter_mut().for_each(|w| *w = 0);
+        let out_ports = self.cfg.out_ports as usize;
+        for r in 0..self.arena.len() {
+            match self.arena.tag[r] {
+                VcTag::Idle => {
+                    if !self.arena.buffers[r].is_empty() {
+                        words::set(&mut self.rc_pending, r);
                     }
-                    VcState::Routing { .. } => self.rc_candidates += 1,
-                    VcState::WaitingVc { out_port } => {
-                        let out = out_port.index();
-                        if out >= self.va_waiting.len() {
-                            return Err(desim::snap::SnapError::Mismatch(format!(
-                                "VC routed to out-of-range port {out}"
-                            )));
-                        }
-                        self.va_waiting[out].push(requester);
+                }
+                VcTag::Routing => words::set(&mut self.rc_pending, r),
+                VcTag::Waiting => {
+                    let out = self.arena.out_port[r] as usize;
+                    if out >= out_ports {
+                        return Err(desim::snap::SnapError::Mismatch(format!(
+                            "VC routed to out-of-range port {out}"
+                        )));
                     }
-                    VcState::Active { out_port, .. } => {
-                        let out = out_port.index();
-                        if out >= self.sa_active.len() {
-                            return Err(desim::snap::SnapError::Mismatch(format!(
-                                "active VC at out-of-range port {out}"
-                            )));
-                        }
-                        self.sa_active[out].push(requester);
+                    self.add_waiting(out, r);
+                }
+                VcTag::Active => {
+                    let out = self.arena.out_port[r] as usize;
+                    if out >= out_ports {
+                        return Err(desim::snap::SnapError::Mismatch(format!(
+                            "active VC at out-of-range port {out}"
+                        )));
                     }
+                    self.add_active(out, r);
                 }
             }
         }
@@ -435,7 +491,7 @@ impl Router {
     ///
     /// Fast path: with no buffered flits there is no RC/VA/SA work —
     /// every pipeline state either is Idle or is an Active VC waiting for
-    /// its next flit — so the cycle is a no-op. All arbitration scratch is
+    /// its next flit — so the cycle is a no-op. All arbitration state is
     /// persistent on the router, so a steady-state cycle performs no heap
     /// allocation.
     pub fn step_into(&mut self, now: Cycle, out: &mut Vec<Traversal>) {
@@ -450,35 +506,40 @@ impl Router {
     /// RC: idle VCs with a head flit start route computation; completed
     /// computations move to WaitingVc.
     ///
-    /// The scan is gated on `rc_candidates` (VCs that are `Idle` with a
+    /// The pass walks `rc_pending` (bit `r` set ⟺ VC `r` is `Idle` with a
     /// buffered head, or `Routing`). Gating is exact — not an
     /// approximation — because every transition into a candidate state
-    /// bumps the counter, and each VC's RC decision reads only that VC's
-    /// state, so scanning or skipping non-candidates is indistinguishable.
+    /// sets the bit, and each VC's RC decision reads only that VC's state,
+    /// so skipping clear bits is indistinguishable from scanning them.
+    /// Words are snapshotted before scanning: the pass only *clears* bits
+    /// (`Routing` → `WaitingVc`), so the snapshot visits exactly the VCs
+    /// the old full scan would have acted on, in the same ascending order.
     fn stage_rc(&mut self, now: Cycle) {
-        if self.rc_candidates == 0 {
-            return;
-        }
-        for port in 0..self.cfg.in_ports {
-            for vc in 0..self.cfg.vcs {
-                let ivc = &mut self.inputs[port as usize][vc as usize];
-                match ivc.state {
-                    VcState::Idle => {
-                        if let Some(front) = ivc.buffer.front() {
+        let vcs = self.cfg.vcs as usize;
+        for wi in 0..self.req_words {
+            let mut bits = self.rc_pending[wi];
+            while bits != 0 {
+                let r = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                match self.arena.tag[r] {
+                    VcTag::Idle => {
+                        if let Some(front) = self.arena.buffers[r].front() {
+                            let (port, vc) = (r / vcs, r % vcs);
                             assert!(
                                 front.kind.is_head(),
                                 "non-head flit at front of idle VC (p{port} v{vc})"
                             );
-                            ivc.state = VcState::Routing { done_at: now + 1 };
+                            self.arena.tag[r] = VcTag::Routing;
+                            self.arena.timer[r] = now + 1;
                         }
                     }
-                    VcState::Routing { done_at } if now >= done_at => {
-                        let Some(front) = ivc.buffer.front() else {
+                    VcTag::Routing if now >= self.arena.timer[r] => {
+                        let Some(front) = self.arena.buffers[r].front() else {
                             // A routing VC without a head flit is corrupt
                             // state; recover by resetting it to Idle.
                             debug_assert!(false, "routing VC lost its head flit");
-                            ivc.state = VcState::Idle;
-                            self.rc_candidates -= 1;
+                            self.arena.tag[r] = VcTag::Idle;
+                            words::clear(&mut self.rc_pending, r);
                             continue;
                         };
                         let dst = front.dst;
@@ -487,10 +548,10 @@ impl Router {
                             out_port.index() < self.cfg.out_ports as usize,
                             "route function returned invalid port {out_port}"
                         );
-                        ivc.state = VcState::WaitingVc { out_port };
-                        self.rc_candidates -= 1;
-                        self.va_waiting[out_port.index()]
-                            .push(port * self.cfg.vcs as u16 + vc as u16);
+                        self.arena.tag[r] = VcTag::Waiting;
+                        self.arena.out_port[r] = out_port.0;
+                        words::clear(&mut self.rc_pending, r);
+                        self.add_waiting(out_port.index(), r);
                     }
                     _ => {}
                 }
@@ -500,160 +561,147 @@ impl Router {
 
     /// VA: WaitingVc inputs request a free output VC at their output port.
     ///
-    /// Only ports with a non-empty waiting list are visited; the request
-    /// bitmap is seeded from the list (and wiped through it afterwards),
-    /// so its bits — the arbiter's only input — are identical to the
-    /// full-scan construction regardless of list order.
+    /// Only ports with a set `va_ports` bit are visited, and the port's
+    /// `va_waiting` words *are* the arbiter's request input — the winner
+    /// is cleared from the set before the next grant round, which is
+    /// exactly the seed-bitmap / clear-winner dance of the slice router
+    /// with the copy removed.
     fn stage_va(&mut self, now: Cycle) {
         let vcs = self.cfg.vcs as usize;
-        // Scratch buffers are persistent fields; take them to sidestep the
-        // borrow of `self` inside the loop.
-        let mut free = std::mem::take(&mut self.va_free);
-        let mut requests = std::mem::take(&mut self.va_requests);
-        for out in 0..self.cfg.out_ports as usize {
-            if self.va_waiting[out].is_empty() {
-                // No requester: the arbiter would see an empty bitmap and
-                // hold its rotor, so skipping the port is identical.
-                continue;
-            }
-            // Free output VCs at this port.
-            free.clear();
-            free.extend((0..vcs).filter(|&v| self.out_vc_owner[out][v].is_none()));
-            if free.is_empty() {
-                self.stats.va_stalls += self.va_waiting[out].len() as u64;
-                continue;
-            }
-            // Gather requests.
-            for &r in &self.va_waiting[out] {
-                requests[r as usize] = true;
-            }
-            // Grant one output VC per arbitration round, up to the number
-            // of free VCs.
-            for &out_vc in &free {
-                let Some(winner) = self.va_arbiters[out].arbitrate(&requests) else {
-                    break;
-                };
-                requests[winner] = false;
-                let Some(pos) = self.va_waiting[out]
+        for pw in 0..self.va_ports.len() {
+            let mut ports = self.va_ports[pw];
+            while ports != 0 {
+                let out = pw * 64 + ports.trailing_zeros() as usize;
+                ports &= ports - 1;
+                let owner_base = out * vcs;
+                // Free output VCs at this port.
+                let free = self.out_vc_owner[owner_base..owner_base + vcs]
                     .iter()
-                    .position(|&r| r as usize == winner)
-                else {
-                    debug_assert!(false, "VA winner missing from waiting list");
+                    .filter(|o| o.is_none())
+                    .count();
+                let req_base = out * self.req_words;
+                if free == 0 {
+                    self.stats.va_stalls +=
+                        words::count(&self.va_waiting[req_base..req_base + self.req_words]);
                     continue;
-                };
-                self.va_waiting[out].swap_remove(pos);
-                self.sa_active[out].push(winner as u16);
-                let (p, v) = (winner / vcs, winner % vcs);
-                self.out_vc_owner[out][out_vc] = Some((p as u16, v as u8));
-                self.inputs[p][v].state = VcState::Active {
-                    out_port: PortId(out as u16),
-                    out_vc: out_vc as u8,
-                    active_at: now + 1,
-                };
-            }
-            // Wipe the losers' bits so the bitmap is clean for the next
-            // port without an O(requesters) clear.
-            for &r in &self.va_waiting[out] {
-                requests[r as usize] = false;
+                }
+                // Grant one output VC per arbitration round, up to the
+                // number of free VCs (ascending — owners granted this
+                // cycle sit at already-passed VC indices, so the dynamic
+                // scan equals the old pre-built free list).
+                for out_vc in 0..vcs {
+                    if self.out_vc_owner[owner_base + out_vc].is_some() {
+                        continue;
+                    }
+                    let Some(winner) = self.va_arbiters[out]
+                        .arbitrate_words(&self.va_waiting[req_base..req_base + self.req_words])
+                    else {
+                        break;
+                    };
+                    self.remove_waiting(out, winner);
+                    self.add_active(out, winner);
+                    let (p, v) = (winner / vcs, winner % vcs);
+                    self.out_vc_owner[owner_base + out_vc] = Some((p as u16, v as u8));
+                    self.arena.tag[winner] = VcTag::Active;
+                    self.arena.out_port[winner] = out as u16;
+                    self.arena.out_vc[winner] = out_vc as u8;
+                    self.arena.timer[winner] = now + 1;
+                }
             }
         }
-        self.va_free = free;
-        self.va_requests = requests;
     }
 
     /// SA + ST: separable switch allocation, then traversal (appended to
     /// `traversals`).
     ///
-    /// Candidates come from the per-port `sa_active` lists; as in VA, the
-    /// bitmap bits (and therefore the arbitration outcome, the stall
-    /// stats and the traversal order) are exactly those of the full scan.
+    /// Candidates come from the per-port `sa_active` words, filtered per
+    /// bit by readiness (active-at timer, buffered flit, downstream
+    /// credit, input port not yet matched) into the `sa_requests` scratch
+    /// words; the request bits — and therefore the arbitration outcome,
+    /// the stall stats and the traversal order — are exactly those of the
+    /// old full scan.
     fn stage_sa_st(&mut self, now: Cycle, traversals: &mut Vec<Traversal>) {
         let vcs = self.cfg.vcs as usize;
-        let mut input_port_used = std::mem::take(&mut self.sa_input_used);
-        let mut requests = std::mem::take(&mut self.sa_requests);
-        input_port_used.iter_mut().for_each(|u| *u = false);
-        for out in 0..self.cfg.out_ports as usize {
-            if self.sa_active[out].is_empty() {
-                continue;
-            }
-            let mut requesters = 0u64;
-            for &r in &self.sa_active[out] {
-                let (p, v) = (r as usize / vcs, r as usize % vcs);
-                if input_port_used[p] {
+        self.sa_input_used.iter_mut().for_each(|w| *w = 0);
+        for pw in 0..self.sa_ports.len() {
+            let mut ports = self.sa_ports[pw];
+            while ports != 0 {
+                let out = pw * 64 + ports.trailing_zeros() as usize;
+                ports &= ports - 1;
+                let req_base = out * self.req_words;
+                let owner_base = out * vcs;
+                let mut requesters = 0u64;
+                for wi in 0..self.req_words {
+                    let mut bits = self.sa_active[req_base + wi];
+                    let mut req_word = 0u64;
+                    while bits != 0 {
+                        let bit = bits.trailing_zeros();
+                        bits &= bits - 1;
+                        let r = wi * 64 + bit as usize;
+                        let p = r / vcs;
+                        if words::test(&self.sa_input_used, p) {
+                            continue;
+                        }
+                        if self.arena.tag[r] != VcTag::Active {
+                            debug_assert!(false, "sa_active entry not Active");
+                            continue;
+                        }
+                        let out_vc = self.arena.out_vc[r] as usize;
+                        if now >= self.arena.timer[r]
+                            && !self.arena.buffers[r].is_empty()
+                            && self.out_credits[owner_base + out_vc].can_send()
+                        {
+                            req_word |= 1u64 << bit;
+                            requesters += 1;
+                        }
+                    }
+                    self.sa_requests[wi] = req_word;
+                }
+                if requesters == 0 {
                     continue;
                 }
-                let ivc = &self.inputs[p][v];
-                let VcState::Active {
-                    out_vc, active_at, ..
-                } = ivc.state
-                else {
-                    debug_assert!(false, "sa_active entry not Active");
+                let Some(winner) = self.sa_arbiters[out].arbitrate_words(&self.sa_requests) else {
+                    // Unreachable (`requesters` guaranteed one); skip the
+                    // port rather than corrupting switch state.
+                    debug_assert!(false, "arbitration failed with requests pending");
                     continue;
                 };
-                if now >= active_at
-                    && !ivc.buffer.is_empty()
-                    && self.out_credits[out][out_vc as usize].can_send()
-                {
-                    requests[r as usize] = true;
-                    requesters += 1;
+                self.stats.sa_stalls += requesters - 1;
+                let (p, v) = (winner / vcs, winner % vcs);
+                words::set(&mut self.sa_input_used, p);
+                if self.arena.tag[winner] != VcTag::Active {
+                    debug_assert!(false, "SA winner was not Active");
+                    continue;
                 }
-            }
-            if requesters == 0 {
-                continue;
-            }
-            let winner = self.sa_arbiters[out].arbitrate(&requests);
-            // Wipe the set bits before acting on the winner so the bitmap
-            // is clean for the next port.
-            for &r in &self.sa_active[out] {
-                requests[r as usize] = false;
-            }
-            let Some(winner) = winner else {
-                // Unreachable (`requesters` guaranteed one); skip the port
-                // rather than corrupting switch state.
-                debug_assert!(false, "arbitration failed with requests pending");
-                continue;
-            };
-            self.stats.sa_stalls += requesters - 1;
-            let (p, v) = (winner / vcs, winner % vcs);
-            input_port_used[p] = true;
-            let ivc = &mut self.inputs[p][v];
-            let VcState::Active { out_vc, .. } = ivc.state else {
-                debug_assert!(false, "SA winner was not Active");
-                continue;
-            };
-            let Some(flit) = ivc.buffer.pop() else {
-                debug_assert!(false, "SA winner had no flit buffered");
-                continue;
-            };
-            self.buffered -= 1;
-            self.out_credits[out][out_vc as usize].consume();
-            self.stats.traversed += 1;
-            if flit.kind.is_tail() {
-                // Release the output VC and return the input VC to Idle;
-                // the next head (if already buffered) starts RC next cycle.
-                self.out_vc_owner[out][out_vc as usize] = None;
-                ivc.state = VcState::Idle;
-                if let Some(pos) = self.sa_active[out]
-                    .iter()
-                    .position(|&r| r as usize == winner)
-                {
-                    self.sa_active[out].swap_remove(pos);
+                let out_vc = self.arena.out_vc[winner];
+                let Some(flit) = self.arena.buffers[winner].pop() else {
+                    debug_assert!(false, "SA winner had no flit buffered");
+                    continue;
+                };
+                self.buffered -= 1;
+                self.out_credits[owner_base + out_vc as usize].consume();
+                self.stats.traversed += 1;
+                if flit.kind.is_tail() {
+                    // Release the output VC and return the input VC to
+                    // Idle; the next head (if already buffered) starts RC
+                    // next cycle.
+                    self.out_vc_owner[owner_base + out_vc as usize] = None;
+                    self.arena.tag[winner] = VcTag::Idle;
+                    self.remove_active(out, winner);
+                    if !self.arena.buffers[winner].is_empty() {
+                        // The next packet's head is already queued: RC work.
+                        words::set(&mut self.rc_pending, winner);
+                    }
                 }
-                if !ivc.buffer.is_empty() {
-                    // The next packet's head is already queued: RC work.
-                    self.rc_candidates += 1;
-                }
+                traversals.push(Traversal {
+                    out_port: PortId(out as u16),
+                    out_vc,
+                    flit,
+                    in_port: PortId(p as u16),
+                    in_vc: v as u8,
+                });
             }
-            traversals.push(Traversal {
-                out_port: PortId(out as u16),
-                out_vc,
-                flit,
-                in_port: PortId(p as u16),
-                in_vc: v as u8,
-            });
         }
-        self.sa_input_used = input_port_used;
-        self.sa_requests = requests;
     }
 }
 
@@ -864,7 +912,7 @@ mod tests {
         assert_eq!(log.len(), 2);
         // After the tail, all output VCs at port 1 are free again.
         for v in 0..2u8 {
-            assert_eq!(r.out_vc_owner[1][v as usize], None);
+            assert_eq!(r.output_owner(PortId(1), v), None);
         }
         // A second packet reuses the VC.
         let b = packet(2, 1, 2);

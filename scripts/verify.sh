@@ -20,11 +20,19 @@ cargo build --release --workspace
 echo "== cargo test -q =="
 cargo test -q --workspace
 
+echo "== arbiter equivalence smoke (word-parallel vs slice oracles, release) =="
+# The router's u64 word-scan arbiters (DESIGN.md §16) must stay
+# position-identical to the retained slice-based oracle implementations;
+# the property suite drives both through randomized grant histories.
+cargo test -q --release -p router --test arbiter_props
+
 echo "== determinism suite under board sharding (2 and 8 point workers) =="
 # The sharded cycle engine (DESIGN.md §12) must stay byte-identical to the
-# sequential one at any worker count — rerun the determinism suite with the
-# env knob forcing every sharded code path through 2 and then 8 workers.
-ERAPID_POINT_THREADS=2 cargo test -q --release --test determinism
+# sequential one at any worker count — rerun the determinism suite (and,
+# at 2 workers, the golden engine pins, exercising the bitset router's
+# grant/stall/traversal order under sharding) with the env knob forcing
+# every sharded code path through 2 and then 8 workers.
+ERAPID_POINT_THREADS=2 cargo test -q --release --test determinism --test golden_engine
 ERAPID_POINT_THREADS=8 cargo test -q --release --test determinism
 
 echo "== perf smoke (reduced grid vs committed BENCH baseline) =="
